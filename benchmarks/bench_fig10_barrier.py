@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 10 — shmem_barrier_all latency after Puts.
+
+Paper setup: every barrier follows a Put of the given size under the four
+{DMA, memcpy} x {1 hop, 2 hops} configurations; the measured latency
+includes quiescing the outstanding transfer plus the two-round ring token
+exchange of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.bench import check_shapes, render_table
+from repro.bench.experiments import run_fig10
+from repro.bench.harness import fig10_shape_checks
+
+from benchlib import bench_once
+
+
+def test_fig10_barrier_latency(benchmark, sizes):
+    result = bench_once(benchmark, run_fig10, sizes=sizes)
+    print()
+    print(render_table(result.rows, "Fig 10 barrier latency [us]"))
+    for description, passed in check_shapes(result.rows,
+                                            fig10_shape_checks()):
+        assert passed, description
+
+
+def test_fig10_barrier_dwarfs_small_puts(benchmark):
+    """'when the size of data transfer is small, the relatively high
+    latency gives overhead of data communication and synchronization'."""
+    result = bench_once(benchmark, run_fig10, sizes=[1024])
+    barrier_1k = result.series("DMA 1 hop")[1024]
+    # Small put costs tens of µs; the barrier must be much bigger.
+    assert barrier_1k > 150.0

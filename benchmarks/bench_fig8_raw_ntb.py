@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Fig. 8 — raw NTB transfer rate.
+
+Paper series: per-link throughput with only that link active
+("Independent") vs all three links transferring simultaneously ("Ring"),
+plus the network total, for request sizes 1 KB–512 KB.
+"""
+
+from __future__ import annotations
+
+from repro.bench import check_shapes, render_table
+from repro.bench.experiments import run_fig8
+from repro.bench.harness import fig8_shape_checks, fig8d_shape_checks
+
+from benchlib import bench_once
+
+
+def test_fig8_per_link_and_total(benchmark, sizes):
+    result = bench_once(benchmark, run_fig8, sizes=sizes)
+
+    for sub, title in [
+        ("fig8a", "Fig 8(a) host0<->host1"),
+        ("fig8b", "Fig 8(b) host1<->host2"),
+        ("fig8c", "Fig 8(c) host2<->host0"),
+        ("fig8d", "Fig 8(d) network total"),
+    ]:
+        rows = [r for r in result.rows if r.experiment == sub]
+        print()
+        print(render_table(rows, title))
+
+    for sub in ("fig8a", "fig8b", "fig8c"):
+        rows = [r for r in result.rows if r.experiment == sub]
+        for description, passed in check_shapes(rows, fig8_shape_checks()):
+            assert passed, f"{sub}: {description}"
+    rows_d = [r for r in result.rows if r.experiment == "fig8d"]
+    for description, passed in check_shapes(rows_d, fig8d_shape_checks()):
+        assert passed, f"fig8d: {description}"
+
+
+def test_fig8_independent_matches_paper_band(benchmark):
+    """Focused check at the paper's largest request size."""
+    result = bench_once(benchmark, run_fig8, sizes=[512 * 1024])
+    independent = [
+        r.value for r in result.rows
+        if r.series == "Independent" and r.experiment != "fig8d"
+    ]
+    # "20Gbps to 30Gbps between two independent host system"
+    assert all(2000 <= mbps <= 3800 for mbps in independent), independent

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Fig. 9 — Put/Get latency and throughput.
+
+Paper series: {DMA, memcpy} x {1 hop, 2 hops}, sizes 1 KB–512 KB, on the
+3-host ring.  (a)/(b) latency, (c)/(d) derived throughput.
+"""
+
+from __future__ import annotations
+
+from repro.bench import check_shapes, render_table
+from repro.bench.experiments import run_fig9
+from repro.bench.harness import fig9_shape_checks
+
+from benchlib import bench_once
+
+
+def test_fig9_put_get_latency_throughput(benchmark, sizes):
+    result = bench_once(benchmark, run_fig9, sizes=sizes)
+
+    for sub, title in [
+        ("fig9a", "Fig 9(a) Put latency [us]"),
+        ("fig9b", "Fig 9(b) Get latency [us]"),
+        ("fig9c", "Fig 9(c) Put throughput [MB/s]"),
+        ("fig9d", "Fig 9(d) Get throughput [MB/s]"),
+    ]:
+        rows = [r for r in result.rows if r.experiment == sub]
+        print()
+        print(render_table(rows, title))
+
+    for experiment, checks in fig9_shape_checks().items():
+        rows = [r for r in result.rows if r.experiment == experiment]
+        for description, passed in check_shapes(rows, checks):
+            assert passed, f"{experiment}: {description}"
+
+
+def test_fig9_one_sided_semantics_in_numbers(benchmark):
+    """The §IV analysis, quantified: put is hop-insensitive because it is
+    one-sided/locally-blocking; get traverses the ring per chunk."""
+    result = bench_once(benchmark, run_fig9, sizes=[64 * 1024])
+    put_1 = result.series("fig9a", "DMA 1 hop")[64 * 1024]
+    put_2 = result.series("fig9a", "DMA 2 hops")[64 * 1024]
+    get_1 = result.series("fig9b", "DMA 1 hop")[64 * 1024]
+    get_2 = result.series("fig9b", "DMA 2 hops")[64 * 1024]
+    assert put_2 < 1.5 * put_1          # hop-insensitive
+    assert get_2 > 1.6 * get_1          # hop-proportional
+    assert get_1 > 3 * put_1            # get >> put

@@ -1,0 +1,28 @@
+"""Benchmark: Table I — per-call cost of every essential OpenSHMEM API.
+
+The paper's Table I is an inventory; the bench analogue measures each
+routine's one-call virtual-time cost on the quiesced 3-host ring.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table
+from repro.bench.experiments import run_table1
+
+from benchlib import bench_once
+
+
+def test_table1_api_costs(benchmark):
+    result = bench_once(benchmark, run_table1)
+    print()
+    print("Table I per-API one-call cost [us]")
+    for row in result.rows:
+        print(f"  {row.series:<28} {row.value:>10.2f}")
+
+    # Cost ordering sanity: identity < free < put(8B) < get(8B) < amo.
+    assert result.cost("my_pe/num_pes") == 0.0
+    assert result.cost("shmem_put (8B, 1 hop)") < \
+        result.cost("shmem_get (8B, 1 hop)")
+    assert result.cost("shmem_get (8B, 1 hop)") < \
+        result.cost("shmem_atomic_fetch_add") * 2.0
+    assert result.cost("shmem_barrier_all") > 100.0

@@ -1,0 +1,27 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+
+#: The full paper grid is 10 sizes; benches default to a 5-point grid to
+#: keep `pytest benchmarks/` snappy.  Set REPRO_FULL_SWEEP=1 for all 10.
+QUICK_SIZES = [1 << 10, 1 << 12, 1 << 14, 1 << 17, 1 << 19]
+
+
+def bench_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    Simulations are deterministic, so repeated rounds only measure the
+    host machine; the reproduction's numbers are in virtual time.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def sweep_sizes() -> list[int]:
+    if os.environ.get("REPRO_FULL_SWEEP"):
+        from repro.bench import PAPER_SIZES
+
+        return list(PAPER_SIZES)
+    return list(QUICK_SIZES)

@@ -1,0 +1,22 @@
+"""Benchmark fixtures.
+
+pytest-benchmark wall-clock numbers measure the simulator itself; the
+meaningful reproduction output is the virtual-time tables printed by each
+bench (run with ``-s``), checked against DESIGN.md §4 shape criteria.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from benchlib import sweep_sizes  # noqa: E402
+
+
+@pytest.fixture
+def sizes():
+    return sweep_sizes()

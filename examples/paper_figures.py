@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Regenerate the paper's full evaluation section (Figs. 8-10, Table I).
+
+Prints every table and the qualitative shape checks recorded in
+EXPERIMENTS.md.  This is the one-command reproduction entry point.
+
+Usage::
+
+    python examples/paper_figures.py           # 4-point quick sweep
+    python examples/paper_figures.py --full    # the paper's 10-size grid
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import run_all
+
+
+def main() -> int:
+    full = "--full" in sys.argv
+    t0 = time.perf_counter()
+    report = run_all(quick=not full)
+    wall = time.perf_counter() - t0
+
+    print(report.render())
+    print()
+    grid = "full 1KB-512KB grid" if full else "quick 4-point grid"
+    print(f"({grid}; regenerated in {wall:.1f}s of wall time, "
+          "all values are virtual-time measurements)")
+    if not report.all_shapes_pass:
+        print("SOME SHAPE CHECKS FAILED")
+        return 1
+    print("every figure reproduces the paper's qualitative shape")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

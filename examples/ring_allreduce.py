@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Ring allreduce vs the built-in reduction — algorithm study on the ring.
+
+Two ways to sum a large vector across all PEs:
+
+1. the library's ``pe.reduce`` (gather to PE 0, combine, broadcast);
+2. a hand-rolled **bucket ring allreduce** (Baidu-style): the vector is
+   split into N buckets; in N-1 *reduce-scatter* steps each PE sends a
+   bucket rightward with ``put_signal`` and accumulates what arrives,
+   then N-1 *allgather* steps circulate the finished buckets.
+
+On a switchless NTB ring the hand-rolled version uses only neighbor puts
+(1 hop, the fabric's sweet spot per Fig. 9a) and overlaps all links, so it
+scales better than the root-bottlenecked gather — the printout quantifies
+the gap in virtual time.
+
+Usage::
+
+    python examples/ring_allreduce.py [n_pes] [elements]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import ClusterConfig, run_spmd
+
+
+def make_builtin(elements: int):
+    def main(pe):
+        src = yield from pe.malloc_array(elements, np.float64)
+        dest = yield from pe.malloc_array(elements, np.float64)
+        contribution = np.linspace(0, 1, elements) * (pe.my_pe() + 1)
+        pe.write_symmetric(src, contribution)
+        yield from pe.barrier_all()
+        start = pe.rt.env.now
+        yield from pe.reduce(dest, src, elements, np.float64, "sum")
+        elapsed = pe.rt.env.now - start
+        result = pe.read_symmetric_array(dest, elements, np.float64)
+        return elapsed, result.copy()
+
+    return main
+
+
+def make_ring_allreduce(elements: int):
+    def main(pe):
+        me, n = pe.my_pe(), pe.num_pes()
+        bucket = elements // n
+        assert bucket * n == elements, "elements must divide by n_pes"
+        item = 8  # float64
+
+        vec = yield from pe.malloc_array(elements, np.float64)
+        inbox = yield from pe.malloc_array(bucket, np.float64)
+        sig = yield from pe.malloc(8)
+        pe.write_symmetric(sig, np.zeros(1, dtype=np.int64))
+        contribution = np.linspace(0, 1, elements) * (me + 1)
+        pe.write_symmetric(vec, contribution)
+        yield from pe.barrier_all()
+
+        right, left = (me + 1) % n, (me - 1) % n
+        start = pe.rt.env.now
+        epoch = 0
+
+        def read_bucket(index):
+            return pe.read_symmetric_array(
+                vec + index * bucket * item, bucket, np.float64
+            )
+
+        def write_bucket(index, data):
+            pe.write_symmetric(vec + index * bucket * item, data)
+
+        # Reduce-scatter: after step s, PE i owns the full sum of bucket
+        # (i - s) mod n ... finally bucket (i+1) mod n is complete at i.
+        for step in range(n - 1):
+            epoch += 1
+            send_idx = (me - step) % n
+            yield from pe.put_signal(
+                inbox, read_bucket(send_idx), right, sig, epoch
+            )
+            yield from pe.wait_until(sig, "==", epoch)
+            recv_idx = (me - step - 1) % n
+            arrived = pe.read_symmetric_array(inbox, bucket, np.float64)
+            write_bucket(recv_idx, read_bucket(recv_idx) + arrived)
+            yield from pe.barrier_all()  # epoch boundary for inbox reuse
+
+        # Allgather: circulate the completed buckets around the ring.
+        for step in range(n - 1):
+            epoch += 1
+            send_idx = (me + 1 - step) % n
+            yield from pe.put_signal(
+                inbox, read_bucket(send_idx), right, sig, epoch
+            )
+            yield from pe.wait_until(sig, "==", epoch)
+            recv_idx = (me - step) % n
+            write_bucket(
+                recv_idx,
+                pe.read_symmetric_array(inbox, bucket, np.float64),
+            )
+            yield from pe.barrier_all()
+
+        elapsed = pe.rt.env.now - start
+        result = pe.read_symmetric_array(vec, elements, np.float64)
+        return elapsed, result.copy()
+
+    return main
+
+
+if __name__ == "__main__":
+    n_pes = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    elements = int(sys.argv[2]) if len(sys.argv) > 2 else 64 * 1024
+
+    expected = np.linspace(0, 1, elements) * sum(range(1, n_pes + 1))
+
+    results = {}
+    for label, factory in [("builtin gather+bcast", make_builtin),
+                           ("bucket ring allreduce", make_ring_allreduce)]:
+        report = run_spmd(
+            factory(elements), n_pes=n_pes,
+            cluster_config=ClusterConfig(n_hosts=n_pes),
+        )
+        times = [elapsed for elapsed, _vec in report.results]
+        for _elapsed, vec in report.results:
+            assert np.allclose(vec, expected), f"{label}: wrong sum!"
+        results[label] = max(times)
+        print(f"{label:<24} {max(times) / 1000:8.2f} virtual ms "
+              f"({elements} float64 over {n_pes} PEs)  [correct]")
+
+    speedup = results["builtin gather+bcast"] / \
+        results["bucket ring allreduce"]
+    print(f"\nring allreduce speedup over root-gather: {speedup:.2f}x "
+          "(all-links-parallel neighbor puts vs root bottleneck)")

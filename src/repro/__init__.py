@@ -1,0 +1,71 @@
+"""repro — OpenSHMEM over a switchless PCIe NTB ring, reproduced in simulation.
+
+A faithful, laptop-scale reproduction of Lim, Park & Cha, *"Developing an
+OpenSHMEM Model over a Switchless PCIe Non-Transparent Bridge Interface"*
+(IPDPSW 2019).  The real prototype needs PLX PEX87xx NTB adapters; this
+package substitutes a register-accurate NTB/PCIe/host model running on a
+deterministic discrete-event simulator (virtual microseconds), with the
+OpenSHMEM runtime implemented exactly as the paper describes.
+
+Quick start::
+
+    import numpy as np
+    from repro import run_spmd
+
+    def main(pe):
+        sym = yield from pe.malloc_array(16, np.int64)
+        right = (pe.my_pe() + 1) % pe.num_pes()
+        yield from pe.put_array(sym, np.full(16, pe.my_pe()), right)
+        yield from pe.barrier_all()
+        return pe.read_symmetric_array(sym, 16, np.int64).tolist()
+
+    report = run_spmd(main, n_pes=3)
+    print(report.results, f"{report.elapsed_us:.0f} virtual us")
+
+Layers (bottom-up): :mod:`repro.sim` (event kernel), :mod:`repro.memory`,
+:mod:`repro.pcie`, :mod:`repro.ntb`, :mod:`repro.host`, :mod:`repro.fabric`
+(the substrates), :mod:`repro.core` (the paper's contribution) and
+:mod:`repro.bench` (the Fig. 8/9/10 harnesses).
+"""
+
+from .core import (
+    PE,
+    AmoOp,
+    HeapConfig,
+    LocalBuffer,
+    Mode,
+    ShmemConfig,
+    ShmemError,
+    SpmdReport,
+    SymAddr,
+    run_spmd,
+)
+from .fabric import Cluster, ClusterConfig, Direction, RoutingPolicy
+from .host import CostModel, HostConfig
+from .ntb import DmaConfig, NtbPortConfig
+from .pcie import LinkConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PE",
+    "AmoOp",
+    "HeapConfig",
+    "LocalBuffer",
+    "Mode",
+    "ShmemConfig",
+    "ShmemError",
+    "SpmdReport",
+    "SymAddr",
+    "run_spmd",
+    "Cluster",
+    "ClusterConfig",
+    "Direction",
+    "RoutingPolicy",
+    "CostModel",
+    "HostConfig",
+    "DmaConfig",
+    "NtbPortConfig",
+    "LinkConfig",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from .harness import (
+    ExperimentReport,
+    fig8_shape_checks,
+    fig9_shape_checks,
+    fig10_shape_checks,
+    run_all,
+)
+from .reporting import (
+    PAPER_SIZES,
+    Row,
+    ShapeCheck,
+    check_shapes,
+    format_shape_report,
+    render_table,
+    size_label,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "fig8_shape_checks",
+    "fig9_shape_checks",
+    "fig10_shape_checks",
+    "run_all",
+    "PAPER_SIZES",
+    "Row",
+    "ShapeCheck",
+    "check_shapes",
+    "format_shape_report",
+    "render_table",
+    "size_label",
+]

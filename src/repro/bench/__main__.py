@@ -1,0 +1,94 @@
+"""CLI entry point: ``python -m repro.bench`` regenerates the evaluation.
+
+Options::
+
+    python -m repro.bench                 # quick 4-point sweep
+    python -m repro.bench --full          # the paper's 10-size grid
+    python -m repro.bench --ablations     # also run the ablation suite
+    python -m repro.bench --json out.json # dump rows as JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .harness import run_all
+from .reporting import render_table
+
+
+def _run_ablations() -> None:
+    from .experiments import (
+        run_barrier_ablation,
+        run_chunk_ablation,
+        run_dma_page_ablation,
+        run_get_chunk_ablation,
+        run_irq_ablation,
+        run_routing_ablation,
+        run_scaling_ablation,
+    )
+
+    suites = [
+        ("routing policy (x = hop distance)", run_routing_ablation),
+        ("bypass chunking (x = chunk bytes)", run_chunk_ablation),
+        ("get chunk (x = chunk bytes)", run_get_chunk_ablation),
+        ("DMA descriptor cost", run_dma_page_ablation),
+        ("barrier strategy (x = ring size)", run_barrier_ablation),
+        ("ring scaling (x = ring size)", run_scaling_ablation),
+        ("interrupt path", run_irq_ablation),
+    ]
+    for title, runner in suites:
+        rows = runner()
+        print()
+        print(render_table(rows, f"ablation: {title}"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation (Figs. 8-10, "
+                    "Table I) on the simulated NTB ring.",
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="sweep the paper's full 1KB-512KB grid")
+    parser.add_argument("--ablations", action="store_true",
+                        help="also run the DESIGN.md §6 ablation suite")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write all measured rows to a JSON file")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    report = run_all(quick=not args.full)
+    print(report.render())
+
+    if args.ablations:
+        _run_ablations()
+
+    if args.json:
+        payload = [
+            {
+                "experiment": row.experiment,
+                "series": row.series,
+                "size": row.size,
+                "value": row.value,
+                "unit": row.unit,
+                **row.extra,
+            }
+            for row in report.rows
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {len(payload)} rows to {args.json}")
+
+    print(f"\nwall time: {time.perf_counter() - t0:.1f}s; "
+          "all values are virtual-time measurements")
+    if not report.all_shapes_pass:
+        print("SOME SHAPE CHECKS FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Experiment drivers: one module per paper table/figure + ablations."""
+
+from .ablations import (
+    run_barrier_ablation,
+    run_dma_channel_ablation,
+    run_chunk_ablation,
+    run_dma_page_ablation,
+    run_get_chunk_ablation,
+    run_irq_ablation,
+    run_routing_ablation,
+    run_scaling_ablation,
+)
+from .fig8 import Fig8Result, run_fig8
+from .fig9 import CONFIGS, Fig9Result, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "run_barrier_ablation",
+    "run_dma_channel_ablation",
+    "run_chunk_ablation",
+    "run_dma_page_ablation",
+    "run_get_chunk_ablation",
+    "run_irq_ablation",
+    "run_routing_ablation",
+    "run_scaling_ablation",
+    "Fig8Result",
+    "run_fig8",
+    "CONFIGS",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Result",
+    "run_fig10",
+    "Table1Result",
+    "run_table1",
+]

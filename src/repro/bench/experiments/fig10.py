@@ -1,0 +1,68 @@
+"""Figure 10: ``shmem_barrier_all`` latency following Puts of varying size.
+
+Per the paper: "shmem_barrier_all() is called requesting Put operations
+with varying sizes, and each latency of shmem_barrier_all() is measured."
+Every PE issues a Put of the given size/mode/hop-distance and immediately
+enters the barrier; the measured latency (on PE 0) therefore includes
+quiescing the outstanding transfer plus the two-round ring token exchange
+— which is why the barrier cost is substantial relative to the data ops
+and stays roughly flat as size grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core import Mode, ShmemConfig, run_spmd
+from ...fabric import ClusterConfig
+from ..reporting import PAPER_SIZES, Row
+from .fig9 import CONFIGS
+
+__all__ = ["Fig10Result", "run_fig10"]
+
+
+@dataclass
+class Fig10Result:
+    rows: list[Row]
+
+    def series(self, name: str) -> dict[int, float]:
+        return {r.size: r.value for r in self.rows if r.series == name}
+
+
+def run_fig10(sizes: Optional[list[int]] = None,
+              shmem_config: Optional[ShmemConfig] = None,
+              n_pes: int = 3,
+              barrier_repeats: int = 3) -> Fig10Result:
+    """Regenerate Fig. 10; one averaged barrier latency per
+    (series, size) in experiment ``fig10``."""
+    sizes = sizes or PAPER_SIZES
+    max_size = max(sizes)
+    measurements: dict[tuple[str, int], float] = {}
+
+    def main(pe):
+        sym = yield from pe.malloc(max_size)
+        src = pe.local_alloc(max_size)
+        yield from pe.barrier_all()
+        for series, mode, hops in CONFIGS:
+            target = (pe.my_pe() + hops) % pe.num_pes()
+            for size in sizes:
+                total = 0.0
+                for _ in range(barrier_repeats):
+                    yield from pe.put_from(sym, src, size, target,
+                                           mode=mode)
+                    start = pe.rt.env.now
+                    yield from pe.barrier_all()
+                    total += pe.rt.env.now - start
+                if pe.my_pe() == 0:
+                    measurements[(series, size)] = total / barrier_repeats
+        return True
+
+    run_spmd(main, n_pes=n_pes,
+             cluster_config=ClusterConfig(n_hosts=n_pes),
+             shmem_config=shmem_config)
+
+    return Fig10Result([
+        Row("fig10", series, size, value, "us")
+        for (series, size), value in measurements.items()
+    ])

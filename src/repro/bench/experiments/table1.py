@@ -1,0 +1,93 @@
+"""Table I microbenchmarks: per-call overhead of every essential API.
+
+The paper's Table I is an API inventory, not a measurement; the natural
+bench analogue is the virtual-time cost of one invocation of each routine
+on the 3-host ring (small arguments, quiesced system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core import Mode, ShmemConfig, run_spmd
+from ...fabric import ClusterConfig
+from ..reporting import Row
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass
+class Table1Result:
+    rows: list[Row]
+
+    def cost(self, api: str) -> float:
+        for row in self.rows:
+            if row.series == api:
+                return row.value
+        raise KeyError(api)
+
+
+def run_table1(shmem_config: Optional[ShmemConfig] = None,
+               n_pes: int = 3) -> Table1Result:
+    """Measure one-call costs; rows in experiment ``table1`` with the
+    API name as the series and a nominal size of 8 bytes."""
+    costs: dict[str, float] = {}
+
+    def main(pe):
+        env = pe.rt.env
+
+        def clock():
+            return env.now
+
+        # my_pe / num_pes are pure lookups (0 µs by construction).
+        start = clock()
+        pe.my_pe()
+        pe.num_pes()
+        costs["my_pe/num_pes"] = clock() - start
+
+        start = clock()
+        sym = yield from pe.malloc(4096)
+        costs["shmem_malloc"] = clock() - start
+
+        yield from pe.barrier_all()
+
+        if pe.my_pe() == 0:
+            start = clock()
+            yield from pe.p(sym, 1, 1)
+            costs["shmem_put (8B, 1 hop)"] = clock() - start
+            yield from pe.quiet()
+            start = clock()
+            yield from pe.g(sym, 1)
+            costs["shmem_get (8B, 1 hop)"] = clock() - start
+            start = clock()
+            yield from pe.put(sym, b"\x00" * 1024, 1, mode=Mode.MEMCPY)
+            costs["shmem_put (1KB, memcpy)"] = clock() - start
+            yield from pe.quiet()
+            start = clock()
+            yield from pe.atomic_fetch_add(sym, 1, 1)
+            costs["shmem_atomic_fetch_add"] = clock() - start
+            start = clock()
+            yield from pe.set_lock(sym + 2048)
+            yield from pe.clear_lock(sym + 2048)
+            costs["shmem_set/clear_lock"] = clock() - start
+        yield from pe.barrier_all()
+
+        start = clock()
+        yield from pe.barrier_all()
+        costs["shmem_barrier_all"] = clock() - start
+
+        start = clock()
+        yield from pe.free(sym)
+        costs["shmem_free"] = clock() - start
+        yield from pe.barrier_all()
+        return True
+
+    run_spmd(main, n_pes=n_pes,
+             cluster_config=ClusterConfig(n_hosts=n_pes),
+             shmem_config=shmem_config)
+
+    return Table1Result([
+        Row("table1", api, 8, value, "us")
+        for api, value in costs.items()
+    ])

@@ -1,0 +1,68 @@
+"""The paper's contribution: OpenSHMEM over the switchless PCIe NTB ring."""
+
+from .api import PE, LocalBuffer
+from .barrier import (
+    CentralizedBarrier,
+    ChainBarrier,
+    DisseminationBarrier,
+    RingBarrier,
+)
+from .collectives import (
+    REDUCE_OPS,
+    alltoall,
+    broadcast,
+    collect,
+    fcollect,
+    reduce,
+)
+from .errors import (
+    BadPeError,
+    NotInitializedError,
+    ProtocolError,
+    ShmemError,
+    SymmetricHeapError,
+    TransferError,
+)
+from .heap import HeapConfig, SymAddr, SymmetricHeap
+from .locks import clear_lock, set_lock, test_lock
+from .program import SpmdReport, make_cluster, run_spmd
+from .runtime import AmoOp, ShmemConfig, ShmemRuntime
+from .service import ShmemService
+from .transfer import Message, Mode, MsgKind
+
+__all__ = [
+    "PE",
+    "LocalBuffer",
+    "CentralizedBarrier",
+    "ChainBarrier",
+    "DisseminationBarrier",
+    "RingBarrier",
+    "REDUCE_OPS",
+    "alltoall",
+    "broadcast",
+    "collect",
+    "fcollect",
+    "reduce",
+    "BadPeError",
+    "NotInitializedError",
+    "ProtocolError",
+    "ShmemError",
+    "SymmetricHeapError",
+    "TransferError",
+    "HeapConfig",
+    "SymAddr",
+    "SymmetricHeap",
+    "clear_lock",
+    "set_lock",
+    "test_lock",
+    "SpmdReport",
+    "make_cluster",
+    "run_spmd",
+    "AmoOp",
+    "ShmemConfig",
+    "ShmemRuntime",
+    "ShmemService",
+    "Message",
+    "Mode",
+    "MsgKind",
+]

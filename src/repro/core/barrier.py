@@ -1,0 +1,273 @@
+"""Barrier algorithms for the switchless fabric (§III-B.4, Fig. 6).
+
+The paper argues the classic centralized barrier is unsuitable ("hard to
+make a centralized shared counter in the switchless interconnect network")
+and implements a two-round **ring start/end barrier** driven by two doorbell
+interrupts, ``DOORBELL_BARRIER_START`` and ``DOORBELL_BARRIER_END``:
+
+1. host 0 reaches the barrier, rings START to host 1, then waits;
+2. every other host waits for START from its left, forwards START right;
+3. when START wraps back to host 0, it rings END and releases;
+4. END propagates around the ring; each host releases on receiving it.
+
+Because barrier tokens are processed by the same FIFO service thread that
+forwards data, a token cannot overtake store-and-forward traffic travelling
+the same (rightward) direction — giving the barrier flush semantics for
+FIXED_RIGHT routing.  (With SHORTEST routing leftward data races the
+rightward token; the scaling ablation quantifies it.)
+
+Two alternatives are provided for the ablation benches (DESIGN.md §6):
+
+* :class:`DisseminationBarrier` — ceil(log2(N)) rounds of point-to-point
+  notifications (Mellor-Crummey & Scott [20]), carried as control messages
+  through the data mailboxes (multi-hop partners are store-and-forwarded);
+* :class:`CentralizedBarrier` — fetch-add arrival counter + release flag
+  on PE 0, all traffic via remote atomics; deliberately naive.
+
+:class:`ChainBarrier` covers chain topologies (up-sweep right, down-sweep
+left) where the ring token cannot wrap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Generator
+
+from ..fabric import ChainTopology, RingTopology
+from ..sim import Signal
+from .errors import ProtocolError, ShmemError
+from .heap import SymAddr
+from .transfer import (
+    DOORBELL_BARRIER_END,
+    DOORBELL_BARRIER_START,
+    Message,
+    Mode,
+    MsgKind,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import ShmemRuntime
+
+__all__ = ["make_barrier", "RingBarrier", "ChainBarrier",
+           "DisseminationBarrier", "CentralizedBarrier"]
+
+
+class _TokenBarrier:
+    """Shared machinery for doorbell-token barriers (ring and chain)."""
+
+    def __init__(self, runtime: "ShmemRuntime"):
+        self.rt = runtime
+        self._start_tokens = 0
+        self._end_tokens = 0
+        self._signal = Signal(runtime.env, name=f"{runtime.name}.barrier")
+        #: completed barrier episodes (diagnostics)
+        self.generation = 0
+
+    # Called synchronously by the service thread (FIFO with data traffic).
+    def on_token(self, side: str, kind: str) -> None:
+        if kind == "barrier_start":
+            self._start_tokens += 1
+        elif kind == "barrier_end":
+            self._end_tokens += 1
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"bad barrier token kind {kind!r}")
+        self._signal.fire(kind)
+
+    def on_notify(self, msg: Message) -> None:  # pragma: no cover - defensive
+        raise ProtocolError(
+            f"{self.rt.name}: BARRIER_MSG under a token barrier"
+        )
+
+    def _await_start(self) -> Generator:
+        while self._start_tokens == 0:
+            yield self._signal.wait()
+        self._start_tokens -= 1
+
+    def _await_end(self) -> Generator:
+        while self._end_tokens == 0:
+            yield self._signal.wait()
+        self._end_tokens -= 1
+
+    def _ring_bit(self, side: str, bit: int) -> Generator:
+        # Flush our store-and-forward pipeline first: the token must not
+        # overtake data we are relaying for other PEs.
+        yield from self.rt.forwarding_quiesce()
+        yield from self.rt.links[side].driver.ring_doorbell(bit)
+
+
+class RingBarrier(_TokenBarrier):
+    """The paper's Fig. 6 two-round ring barrier."""
+
+    def wait(self) -> Generator:
+        rt = self.rt
+        if rt.n_pes == 1:
+            self.generation += 1
+            return
+        if "right" not in rt.links or "left" not in rt.links:
+            raise ShmemError(
+                f"{rt.name}: ring barrier needs both adapters"
+            )
+        if rt.my_pe_id == 0:
+            # A stale wrapped END from the previous round may still be
+            # latched (host N-1 rings END to us as it releases); host 0
+            # never waits on END, so drain the counter at entry.
+            self._end_tokens = 0
+            yield from self._ring_bit("right", DOORBELL_BARRIER_START)
+            yield from self._await_start()     # the wrapped START
+            yield from self._ring_bit("right", DOORBELL_BARRIER_END)
+        else:
+            yield from self._await_start()
+            yield from self._ring_bit("right", DOORBELL_BARRIER_START)
+            yield from self._await_end()
+            # Forward END onward; for the last host this wraps to host 0,
+            # which absorbs it (see above).
+            yield from self._ring_bit("right", DOORBELL_BARRIER_END)
+        self.generation += 1
+
+
+class ChainBarrier(_TokenBarrier):
+    """Linear sweep for chain topologies: START right, END back left."""
+
+    def wait(self) -> Generator:
+        rt = self.rt
+        n, me = rt.n_pes, rt.my_pe_id
+        if n == 1:
+            self.generation += 1
+            return
+        if me == 0:
+            yield from self._ring_bit("right", DOORBELL_BARRIER_START)
+            yield from self._await_end()
+        elif me == n - 1:
+            yield from self._await_start()
+            yield from self._ring_bit("left", DOORBELL_BARRIER_END)
+        else:
+            yield from self._await_start()
+            yield from self._ring_bit("right", DOORBELL_BARRIER_START)
+            yield from self._await_end()
+            yield from self._ring_bit("left", DOORBELL_BARRIER_END)
+        self.generation += 1
+
+
+class DisseminationBarrier:
+    """log-round dissemination barrier over BARRIER_MSG control messages.
+
+    Round k: notify PE ``(me + 2^k) mod N``; wait for the notification from
+    ``(me - 2^k) mod N``.  Notifications are tagged (generation, round) in
+    ``aux`` so early arrivals from fast peers are banked, never lost.
+    """
+
+    def __init__(self, runtime: "ShmemRuntime"):
+        self.rt = runtime
+        self._arrived: dict[tuple[int, int], int] = {}
+        self._signal = Signal(runtime.env, name=f"{runtime.name}.dissem")
+        self.generation = 0
+
+    def on_token(self, side: str, kind: str) -> None:  # pragma: no cover
+        raise ProtocolError(
+            f"{self.rt.name}: doorbell barrier token under dissemination"
+        )
+
+    def on_notify(self, msg: Message) -> None:
+        gen = (msg.aux >> 8) & 0xFFFFFF
+        rnd = msg.aux & 0xFF
+        key = (gen, rnd)
+        self._arrived[key] = self._arrived.get(key, 0) + 1
+        self._signal.fire(key)
+
+    def wait(self) -> Generator:
+        rt = self.rt
+        n = rt.n_pes
+        gen = self.generation
+        rounds = max(1, math.ceil(math.log2(n))) if n > 1 else 0
+        for rnd in range(rounds):
+            partner = (rt.my_pe_id + (1 << rnd)) % n
+            if partner != rt.my_pe_id:
+                # Same flush rule as the token barrier: do not let our
+                # notification overtake data we are relaying.
+                yield from rt.forwarding_quiesce()
+                route = rt.route_to(partner)
+                link = rt.link_for(route.direction)
+                msg = Message(
+                    kind=MsgKind.BARRIER_MSG, mode=Mode.DMA,
+                    src_pe=rt.my_pe_id, dest_pe=partner,
+                    offset=0, size=0,
+                    aux=((gen & 0xFFFFFF) << 8) | rnd,
+                    seq=link.data_mailbox.next_seq(),
+                )
+                yield from link.data_mailbox.send(msg)
+            key = (gen, rnd)
+            while self._arrived.get(key, 0) < 1:
+                yield self._signal.wait()
+            self._arrived[key] -= 1
+            if self._arrived[key] == 0:
+                del self._arrived[key]
+        self.generation += 1
+
+
+class CentralizedBarrier:
+    """Arrival counter + release flag on PE 0, via remote atomics.
+
+    Included to demonstrate the paper's §III-B.4 claim: every arrival and
+    every release poll is a full AMO round trip through the ring, so cost
+    scales O(N^2) in messages — the ablation bench quantifies it.
+    """
+
+    #: µs between release-flag polls (exponential backoff capped here).
+    POLL_US = 50.0
+
+    def __init__(self, runtime: "ShmemRuntime"):
+        self.rt = runtime
+        self._cells = None  # SymAddr of [counter, release] on every PE
+        self.generation = 0
+
+    def on_token(self, side: str, kind: str) -> None:  # pragma: no cover
+        raise ProtocolError(
+            f"{self.rt.name}: doorbell barrier token under centralized"
+        )
+
+    def on_notify(self, msg: Message) -> None:  # pragma: no cover
+        raise ProtocolError(
+            f"{self.rt.name}: BARRIER_MSG under centralized barrier"
+        )
+
+    def _ensure_cells(self) -> None:
+        # SPMD: every PE allocates in lockstep, so offsets agree.
+        if self._cells is None:
+            self._cells = self.rt.heap.malloc(16)
+
+    def wait(self) -> Generator:
+        from .runtime import AmoOp  # local import avoids cycle
+
+        rt = self.rt
+        self._ensure_cells()
+        counter: SymAddr = self._cells
+        release = SymAddr(self._cells.offset + 8)
+        gen = self.generation + 1
+        arrived = yield from rt.amo(0, counter, AmoOp.ADD, 1)
+        if arrived == rt.n_pes - 1:
+            # Last arriver: reset the counter, publish the release flag.
+            yield from rt.amo(0, counter, AmoOp.SET, 0)
+            yield from rt.amo(0, release, AmoOp.SET, gen)
+        else:
+            while True:
+                value = yield from rt.amo(0, release, AmoOp.FETCH)
+                if value >= gen:
+                    break
+                yield rt.env.timeout(self.POLL_US)
+        self.generation = gen
+
+
+def make_barrier(runtime: "ShmemRuntime"):
+    """Pick the strategy from config + topology."""
+    strategy = runtime.config.barrier
+    if strategy == "dissemination":
+        return DisseminationBarrier(runtime)
+    if strategy == "centralized":
+        return CentralizedBarrier(runtime)
+    if isinstance(runtime.topology, ChainTopology):
+        return ChainBarrier(runtime)
+    if isinstance(runtime.topology, RingTopology):
+        return RingBarrier(runtime)
+    raise ShmemError(  # pragma: no cover - defensive
+        f"no barrier strategy for {runtime.topology!r}"
+    )

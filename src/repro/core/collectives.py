@@ -1,0 +1,227 @@
+"""Collective operations built on Put + barrier + wait flags.
+
+§II-B lists broadcasts and reductions among the features a SHMEM library
+"should support"; the paper implements only the barrier, so these are the
+reproduction's extension set, composed strictly from the primitives the
+paper does provide (one-sided puts, the ring barrier, local symmetric
+reads).  Two broadcast algorithms are included because the switchless ring
+makes the trade-off interesting (ablation: linear root-pushes-everything
+vs a ring pipeline that exploits neighbor bandwidth).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from .errors import ShmemError, TransferError
+from .heap import SymAddr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import PE
+
+__all__ = ["broadcast", "reduce", "fcollect", "collect", "alltoall",
+           "REDUCE_OPS"]
+
+#: Supported reduction operators -> NumPy ufunc reducers.
+REDUCE_OPS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+    "band": np.bitwise_and,
+    "bor": np.bitwise_or,
+    "bxor": np.bitwise_xor,
+}
+
+
+def broadcast(pe: "PE", dest: SymAddr, src: SymAddr, nbytes: int, root: int,
+              algorithm: str = "linear") -> Generator:
+    """``shmem_broadcastmem``: copy root's ``src`` into ``dest`` on every
+    other PE (the root's own ``dest`` is left untouched, matching the
+    OpenSHMEM 1.x convention).  Synchronizing: exits via barrier_all.
+
+    ``algorithm``:
+
+    * ``"linear"`` — root puts to each PE in turn; simple, serializes at
+      the root's outgoing links.
+    * ``"ring"`` — pipelined neighbor relay: the root puts to its right
+      neighbor plus a flag; each PE waits for the flag, forwards the data
+      rightward, and so on.  All transfers are single-hop, so the relay
+      uses every link once instead of store-and-forwarding through the
+      root's bypass path.
+    """
+    pe.rt.check_pe(root)
+    if nbytes <= 0:
+        raise TransferError("broadcast size must be positive")
+    me, n = pe.my_pe(), pe.num_pes()
+    if n == 1:
+        yield from pe.barrier_all()
+        return
+
+    if algorithm == "linear":
+        if me == root:
+            data = pe.read_symmetric(src, nbytes)
+            for target in range(n):
+                if target == root:
+                    continue
+                yield from pe.put(dest, data, target)
+        yield from pe.barrier_all()
+        return
+
+    if algorithm == "ring":
+        # Flag cell allocated in lockstep by every PE (SPMD).
+        flag = yield from pe.malloc(8)
+        pe.write_symmetric(flag, np.zeros(1, dtype=np.int64))
+        yield from pe.barrier_all()
+        right = (me + 1) % n
+        last = (root - 1) % n  # the PE that does not need to forward
+        if me == root:
+            data = pe.read_symmetric(src, nbytes)
+            yield from pe.put(dest, data, right)
+            yield from pe.p(flag, 1, right)
+        else:
+            yield from pe.wait_until(flag, "==", 1)
+            if me != last:
+                data = pe.read_symmetric(dest, nbytes)
+                yield from pe.put(dest, data, right)
+                yield from pe.p(flag, 1, right)
+        yield from pe.barrier_all()
+        yield from pe.free(flag)
+        return
+
+    raise ShmemError(f"unknown broadcast algorithm {algorithm!r}")
+
+
+def reduce(pe: "PE", dest: SymAddr, src: SymAddr, count: int, dtype,
+           op: str, workspace: Optional[SymAddr] = None) -> Generator:
+    """``shmem_<op>_to_all``: element-wise reduction of every PE's ``src``
+    array, result in every PE's ``dest``.
+
+    Gather-to-root + local combine + broadcast — the natural shape for a
+    small switchless ring.  ``workspace`` (the spec's ``pWrk``) must hold
+    ``num_pes * count`` elements on PE 0; pass None to allocate one
+    internally (requires this call to be in SPMD lockstep, as collectives
+    must be anyway).
+    """
+    if op not in REDUCE_OPS:
+        raise ShmemError(
+            f"unknown reduce op {op!r}; choose from {sorted(REDUCE_OPS)}"
+        )
+    dt = np.dtype(dtype)
+    if op in ("band", "bor", "bxor") and dt.kind not in "iu":
+        raise ShmemError(f"bitwise reduce needs an integer dtype, got {dt}")
+    nbytes = count * dt.itemsize
+    me, n = pe.my_pe(), pe.num_pes()
+    root = 0
+
+    owns_ws = workspace is None
+    if owns_ws:
+        workspace = yield from pe.malloc(n * nbytes)
+    elif workspace.nbytes and workspace.nbytes < n * nbytes:
+        raise TransferError(
+            f"reduce workspace holds {workspace.nbytes} bytes, "
+            f"needs {n * nbytes}"
+        )
+
+    # Every PE deposits its contribution into root's workspace slot.
+    data = pe.read_symmetric(src, nbytes)
+    if me == root:
+        pe.write_symmetric(SymAddr(workspace.offset + me * nbytes), data)
+    else:
+        yield from pe.put(
+            SymAddr(workspace.offset + me * nbytes), data, root
+        )
+    yield from pe.barrier_all()
+
+    if me == root:
+        acc = pe.read_symmetric(
+            SymAddr(workspace.offset), nbytes
+        ).view(dt).copy()
+        ufunc = REDUCE_OPS[op]
+        for contributor in range(1, n):
+            block = pe.read_symmetric(
+                SymAddr(workspace.offset + contributor * nbytes), nbytes
+            ).view(dt)
+            acc = ufunc(acc, block)
+        # Charge the local combine (n-1 passes over the data).
+        yield from pe.rt.host.cpu.local_memcpy(nbytes * (n - 1))
+        pe.write_symmetric(dest, acc)
+
+    yield from pe.broadcast(dest, dest, nbytes, root)
+    if owns_ws:
+        yield from pe.free(workspace)
+
+
+def fcollect(pe: "PE", dest: SymAddr, src: SymAddr,
+             nbytes_per_pe: int) -> Generator:
+    """``shmem_fcollectmem``: concatenate every PE's ``src`` block into
+    every PE's ``dest`` (block *i* at offset ``i * nbytes_per_pe``)."""
+    if nbytes_per_pe <= 0:
+        raise TransferError("fcollect block size must be positive")
+    me, n = pe.my_pe(), pe.num_pes()
+    data = pe.read_symmetric(src, nbytes_per_pe)
+    slot = SymAddr(dest.offset + me * nbytes_per_pe)
+    pe.write_symmetric(slot, data)
+    for target in range(n):
+        if target == me:
+            continue
+        yield from pe.put(slot, data, target)
+    yield from pe.barrier_all()
+
+
+def collect(pe: "PE", dest: SymAddr, src: SymAddr,
+            nbytes_mine: int) -> Generator:
+    """``shmem_collectmem``: concatenate *variable-sized* per-PE blocks.
+
+    Unlike :func:`fcollect`, each PE contributes a different number of
+    bytes; the offsets are discovered with a size-exchange round (an
+    8-byte fcollect) followed by an exclusive prefix scan.  Returns the
+    list of per-PE sizes so callers can slice the result.
+    """
+    if nbytes_mine < 0:
+        raise TransferError("collect size must be non-negative")
+    me, n = pe.my_pe(), pe.num_pes()
+    sizes_sym = yield from pe.malloc(8 * n)
+    # Round 1: everyone publishes its size into every PE's table.
+    my_size = np.array([nbytes_mine], dtype=np.int64)
+    pe.write_symmetric(SymAddr(sizes_sym.offset + 8 * me), my_size)
+    for target in range(n):
+        if target != me:
+            yield from pe.put(
+                SymAddr(sizes_sym.offset + 8 * me), my_size, target
+            )
+    yield from pe.barrier_all()
+    sizes = pe.read_symmetric_array(sizes_sym, n, np.int64)
+    offsets = np.zeros(n, dtype=np.int64)
+    offsets[1:] = np.cumsum(sizes)[:-1]
+    # Round 2: everyone places its block at its scanned offset.
+    if nbytes_mine:
+        block = pe.read_symmetric(src, nbytes_mine)
+        my_slot = SymAddr(dest.offset + int(offsets[me]))
+        pe.write_symmetric(my_slot, block)
+        for target in range(n):
+            if target != me:
+                yield from pe.put(my_slot, block, target)
+    yield from pe.barrier_all()
+    yield from pe.free(sizes_sym)
+    return sizes.tolist()
+
+
+def alltoall(pe: "PE", dest: SymAddr, src: SymAddr,
+             nbytes_per_pe: int) -> Generator:
+    """``shmem_alltoallmem``: PE *i*'s block *j* lands at PE *j*'s slot *i*."""
+    if nbytes_per_pe <= 0:
+        raise TransferError("alltoall block size must be positive")
+    me, n = pe.my_pe(), pe.num_pes()
+    my_slot = SymAddr(dest.offset + me * nbytes_per_pe)
+    for target in range(n):
+        block = pe.read_symmetric(
+            SymAddr(src.offset + target * nbytes_per_pe), nbytes_per_pe
+        )
+        if target == me:
+            pe.write_symmetric(my_slot, block)
+        else:
+            yield from pe.put(my_slot, block, target)
+    yield from pe.barrier_all()

@@ -1,0 +1,37 @@
+"""Exception types for the OpenSHMEM runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ShmemError",
+    "NotInitializedError",
+    "SymmetricHeapError",
+    "BadPeError",
+    "TransferError",
+    "ProtocolError",
+]
+
+
+class ShmemError(Exception):
+    """Base class for OpenSHMEM runtime errors."""
+
+
+class NotInitializedError(ShmemError):
+    """An API was called before ``shmem_init`` (or after finalize)."""
+
+
+class SymmetricHeapError(ShmemError):
+    """Out of symmetric heap, bad offset, or cross-PE inconsistency."""
+
+
+class BadPeError(ShmemError):
+    """A PE number outside ``0 .. num_pes()-1`` (or self where invalid)."""
+
+
+class TransferError(ShmemError):
+    """Put/Get argument or data-path errors."""
+
+
+class ProtocolError(ShmemError):
+    """Wire-protocol violations: bad message kinds, misrouted packets,
+    mailbox misuse.  Always indicates a runtime bug, never user error."""

@@ -1,0 +1,193 @@
+"""The symmetric heap: chunked, on-demand, virtually contiguous (Fig. 3).
+
+§III-B.2 of the paper:
+
+* symmetric data objects live in a *symmetric heap* whose user-level
+  addresses are contiguous, built by concatenating fixed-size ``mmap``
+  chunks ("the actual area of symmetric memory heap is scattered, however
+  those regions are virtually continuative");
+* ``shmem_malloc`` first checks whether a heap exists / has room, growing
+  the heap by another fixed-size chunk when needed;
+* every PE assigns symmetric variables at the **same offset** — remote
+  access is expressed as (PE, offset), Fig. 3(b).
+
+The same-offset invariant holds because allocation is deterministic
+(:class:`~repro.memory.allocator.RegionAllocator` first-fit) and SPMD
+programs issue identical allocation sequences.  The runtime cross-checks
+the invariant at barrier time in debug builds; property tests hammer it
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..host import Host, UserBuffer
+from ..memory import Allocation, AllocationError, PhysSegment, RegionAllocator
+from .errors import SymmetricHeapError
+
+__all__ = ["SymAddr", "HeapConfig", "SymmetricHeap"]
+
+#: Virtual base for every PE's symmetric heap.  Identical across hosts so a
+#: (PE, offset) pair resolves to the same virtual address everywhere.
+SYMMETRIC_HEAP_VIRT_BASE = 0x6000_0000_0000
+
+
+@dataclass(frozen=True)
+class SymAddr:
+    """A symmetric address: an offset into every PE's symmetric heap.
+
+    Arithmetic is offset arithmetic (``addr + 16`` is valid and common for
+    array indexing)."""
+
+    offset: int
+    nbytes: int = 0  # size of the allocation it came from (0 if derived)
+
+    def __add__(self, delta: int) -> "SymAddr":
+        if delta < 0:
+            raise SymmetricHeapError(f"negative symmetric offset delta {delta}")
+        return SymAddr(self.offset + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SymAddr(offset={self.offset:#x}, nbytes={self.nbytes})"
+
+
+@dataclass(frozen=True)
+class HeapConfig:
+    """Symmetric-heap shape."""
+
+    chunk_size: int = 4 * 1024 * 1024
+    max_chunks: int = 16
+    granularity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 4096 or self.chunk_size & (self.chunk_size - 1):
+            raise ValueError("chunk_size must be a power of two >= 4096")
+        if self.max_chunks < 1:
+            raise ValueError("max_chunks must be >= 1")
+
+    @property
+    def capacity(self) -> int:
+        return self.chunk_size * self.max_chunks
+
+
+class SymmetricHeap:
+    """One PE's symmetric heap instance."""
+
+    def __init__(self, host: Host, config: Optional[HeapConfig] = None):
+        self.host = host
+        self.config = config or HeapConfig()
+        self.virt_base = SYMMETRIC_HEAP_VIRT_BASE
+        self._chunks: list[UserBuffer] = []
+        self._offsets = RegionAllocator(
+            0, self.config.capacity,
+            granularity=self.config.granularity,
+            name=f"{host.name}.symheap",
+        )
+        #: allocation log (sequence of (offset, size)) — the cross-PE
+        #: consistency check compares these between PEs.
+        self.allocation_log: list[tuple[int, int]] = []
+        #: counts for diagnostics
+        self.grow_count = 0
+
+    # -- growth --------------------------------------------------------------
+    @property
+    def backed_bytes(self) -> int:
+        return len(self._chunks) * self.config.chunk_size
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks)
+
+    def _grow(self) -> None:
+        """Concatenate one more fixed-size chunk at the virtual tail."""
+        if len(self._chunks) >= self.config.max_chunks:
+            raise SymmetricHeapError(
+                f"{self.host.name}: symmetric heap at max size "
+                f"({self.config.capacity} bytes)"
+            )
+        at = self.virt_base + self.backed_bytes
+        chunk = self.host.mmap(self.config.chunk_size, at=at)
+        self._chunks.append(chunk)
+        self.grow_count += 1
+
+    def ensure_backed(self, end_offset: int) -> int:
+        """Grow until ``end_offset`` is backed; returns chunks added."""
+        added = 0
+        while self.backed_bytes < end_offset:
+            self._grow()
+            added += 1
+        return added
+
+    # -- allocation ------------------------------------------------------------
+    def malloc(self, nbytes: int) -> SymAddr:
+        """Allocate a symmetric block (deterministic offsets across PEs)."""
+        if nbytes <= 0:
+            raise SymmetricHeapError(
+                f"shmem_malloc size must be positive, got {nbytes}"
+            )
+        try:
+            allocation = self._offsets.alloc(nbytes)
+        except AllocationError as exc:
+            raise SymmetricHeapError(str(exc)) from exc
+        self.ensure_backed(allocation.end)
+        self.allocation_log.append((allocation.base, allocation.size))
+        return SymAddr(allocation.base, nbytes)
+
+    def free(self, addr: SymAddr) -> None:
+        try:
+            self._offsets.free(addr.offset)
+        except AllocationError as exc:
+            raise SymmetricHeapError(str(exc)) from exc
+        self.allocation_log.append((addr.offset, -1))
+
+    def reset(self) -> None:
+        """Release everything (shmem_finalize)."""
+        self._offsets.reset()
+        for chunk in self._chunks:
+            self.host.munmap(chunk)
+        self._chunks.clear()
+        self.allocation_log.clear()
+
+    # -- address resolution ------------------------------------------------------
+    def check_range(self, addr: SymAddr, nbytes: int) -> None:
+        if addr.offset < 0 or nbytes < 0 or \
+                addr.offset + nbytes > self.backed_bytes:
+            raise SymmetricHeapError(
+                f"symmetric range [{addr.offset:#x}, "
+                f"{addr.offset + nbytes:#x}) outside backed heap "
+                f"({self.backed_bytes:#x} bytes)"
+            )
+
+    def virt_of(self, addr: SymAddr) -> int:
+        """Local virtual address of a symmetric offset."""
+        return self.virt_base + addr.offset
+
+    def segments(self, addr: SymAddr, nbytes: int) -> list[PhysSegment]:
+        """Page-granular physical SG list for a symmetric range."""
+        self.check_range(addr, nbytes)
+        return list(self.host.vas.phys_segments(self.virt_of(addr), nbytes))
+
+    # -- data access (zero-time; timed copies are charged by callers) -------------
+    def read(self, addr: SymAddr, nbytes: int) -> np.ndarray:
+        self.check_range(addr, nbytes)
+        return self.host.read_user(self.virt_of(addr), nbytes)
+
+    def write(self, addr: SymAddr, data: bytes | np.ndarray) -> None:
+        nbytes = len(data) if isinstance(data, (bytes, bytearray)) \
+            else data.size
+        self.check_range(addr, nbytes)
+        self.host.write_user(self.virt_of(addr), data)
+
+    def fingerprint(self) -> tuple[tuple[int, int], ...]:
+        """Allocation log snapshot used for the cross-PE consistency check."""
+        return tuple(self.allocation_log)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SymmetricHeap {self.host.name} chunks={self.n_chunks} "
+            f"used={self._offsets.used_bytes}>"
+        )

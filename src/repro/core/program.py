@@ -1,0 +1,181 @@
+"""SPMD program runner: the ``mpiexec`` of the reproduction.
+
+``run_spmd(main, n_pes=3)`` stands up a cluster, initializes one
+:class:`~repro.core.runtime.ShmemRuntime` per host, rendezvouses, runs the
+user's generator ``main(pe)`` on every PE, and returns a report with
+per-PE results and virtual-time statistics.
+
+The pre-``shmem_init`` rendezvous uses a simulation-level latch: on real
+systems the job launcher provides that out-of-band synchronization; inside
+OpenSHMEM everything from the ScratchPad handshake onward is simulated
+faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..fabric import Cluster, ClusterConfig
+from ..sim import AllOf, CountdownLatch, Environment, Tracer
+from .api import PE
+from .errors import ShmemError
+from .runtime import ShmemConfig, ShmemRuntime
+
+__all__ = ["SpmdReport", "run_spmd", "make_cluster"]
+
+PeMain = Callable[[PE], Generator]
+
+
+@dataclass
+class SpmdReport:
+    """Everything a caller (tests, benches, examples) needs afterwards."""
+
+    results: list[Any]
+    elapsed_us: float
+    cluster: Cluster
+    runtimes: list[ShmemRuntime]
+    pes: list[PE]
+
+    @property
+    def env(self) -> Environment:
+        return self.cluster.env
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.cluster.tracer
+
+    def runtime(self, pe: int) -> ShmemRuntime:
+        return self.runtimes[pe]
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate operation counters across PEs."""
+        out: dict[str, Any] = {
+            "elapsed_us": self.elapsed_us,
+            "puts": sum(rt.put_count for rt in self.runtimes),
+            "gets": sum(rt.get_count for rt in self.runtimes),
+            "amos": sum(rt.amo_count for rt in self.runtimes),
+        }
+        out.update(self.tracer.summary())
+        return out
+
+    def render_profile(self) -> str:
+        """Human-readable per-PE operation profile (virtual time).
+
+        One line per (PE, op) with call count, mean and max latency plus
+        moved bytes — the quick answer to "where did the time go?".
+        """
+        lines = [
+            f"{'PE':>3} {'op':<9} {'calls':>7} {'mean_us':>10} "
+            f"{'max_us':>10} {'bytes':>12}"
+        ]
+        for runtime in self.runtimes:
+            for op in ("put", "get", "barrier"):
+                stats = self.tracer.intervals.get(
+                    f"{runtime.name}.{op}_us"
+                )
+                if stats is None or stats.count == 0:
+                    continue
+                counter = self.tracer.counters.get(f"{runtime.name}.{op}")
+                nbytes = counter.bytes if counter else 0
+                lines.append(
+                    f"{runtime.my_pe_id:>3} {op:<9} {stats.count:>7} "
+                    f"{stats.mean:>10.1f} {stats.maximum:>10.1f} "
+                    f"{nbytes:>12}"
+                )
+        if len(lines) == 1:
+            lines.append("  (no instrumented operations recorded)")
+        return "\n".join(lines)
+
+
+def make_cluster(n_pes: int,
+                 cluster_config: Optional[ClusterConfig] = None) -> Cluster:
+    """Build (or validate) the cluster for an SPMD run."""
+    if cluster_config is None:
+        cluster_config = ClusterConfig(n_hosts=n_pes)
+    elif cluster_config.n_hosts != n_pes:
+        raise ShmemError(
+            f"cluster has {cluster_config.n_hosts} hosts but n_pes={n_pes}"
+        )
+    return Cluster(cluster_config)
+
+
+def run_spmd(main: PeMain, n_pes: int = 3,
+             cluster_config: Optional[ClusterConfig] = None,
+             shmem_config: Optional[ShmemConfig] = None,
+             cluster: Optional[Cluster] = None,
+             finalize: bool = True,
+             check_heap_consistency: bool = True) -> SpmdReport:
+    """Run ``main(pe)`` as an SPMD program on every PE.
+
+    Parameters
+    ----------
+    main:
+        Generator function taking a :class:`PE`; its return value lands in
+        ``report.results[pe]``.
+    n_pes:
+        Number of PEs (== hosts; the paper runs one PE per host).
+    cluster_config / cluster:
+        Customize or reuse the hardware; ``cluster`` wins if given.
+    shmem_config:
+        Runtime knobs (chunk sizes, routing, barrier strategy, mode).
+    finalize:
+        Run ``shmem_finalize`` on every PE after the rendezvous at exit.
+    check_heap_consistency:
+        Assert the cross-PE same-offset invariant after the run.
+    """
+    if cluster is None:
+        cluster = make_cluster(n_pes, cluster_config)
+    elif cluster.n_hosts != n_pes:
+        raise ShmemError(
+            f"cluster has {cluster.n_hosts} hosts but n_pes={n_pes}"
+        )
+    env = cluster.env
+    runtimes = [
+        ShmemRuntime(cluster, pe_id, shmem_config) for pe_id in range(n_pes)
+    ]
+    pes = [PE(rt) for rt in runtimes]
+    results: list[Any] = [None] * n_pes
+    init_latch = CountdownLatch(env, n_pes)
+    exit_latch = CountdownLatch(env, n_pes)
+
+    def pe_process(pe_id: int) -> Generator:
+        runtime = runtimes[pe_id]
+        yield from runtime.initialize()
+        init_latch.count_down()
+        yield init_latch.wait()  # launcher-style rendezvous
+        results[pe_id] = yield from main(pes[pe_id])
+        exit_latch.count_down()
+        yield exit_latch.wait()
+        if finalize:
+            yield from runtime.finalize()
+
+    processes = [
+        env.process(pe_process(pe_id), name=f"pe{pe_id}.main")
+        for pe_id in range(n_pes)
+    ]
+    env.run(until=AllOf(env, processes))
+
+    if check_heap_consistency and not finalize:
+        _check_same_offsets(runtimes)
+
+    return SpmdReport(
+        results=results,
+        elapsed_us=env.now,
+        cluster=cluster,
+        runtimes=runtimes,
+        pes=pes,
+    )
+
+
+def _check_same_offsets(runtimes: list[ShmemRuntime]) -> None:
+    """The Fig. 3 invariant: identical allocation logs on every PE."""
+    reference = runtimes[0].heap.fingerprint()
+    for runtime in runtimes[1:]:
+        if runtime.heap.fingerprint() != reference:
+            raise ShmemError(
+                "symmetric heap divergence: PEs issued different "
+                "allocation sequences (program is not SPMD-consistent); "
+                f"{runtimes[0].name}={reference} vs "
+                f"{runtime.name}={runtime.heap.fingerprint()}"
+            )

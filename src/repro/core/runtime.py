@@ -1,0 +1,718 @@
+"""Per-PE OpenSHMEM runtime state and app-side operations.
+
+One :class:`ShmemRuntime` lives on each host (the paper runs one PE per
+host).  It owns the symmetric heap, both link ends (mailboxes + receive
+buffers), the service thread, pending-request tables and the barrier
+strategy, and implements the app-facing halves of Put/Get/AMO.
+
+Initialization follows §III-B.1's four steps:
+
+1. NTB setup — window translation programming, LUT entries, DMA channel
+   attach (done when the cluster cabled the endpoints) and the **host-ID /
+   readiness handshake over ScratchPads**;
+2. interrupt structure — doorbell IRQ registration for the four signals
+   (DMAPUT, DMAGET, BARRIER_START, BARRIER_END) plus the protocol ACK
+   bits;
+3. bypass buffer allocation for store-and-forward;
+4. service thread creation (:mod:`repro.core.service`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..fabric import Cluster, Direction, RoutingPolicy
+from ..host import Host, PinnedBuffer
+from ..ntb import NtbDriver
+from ..ntb.device import BYPASS_WINDOW, DATA_WINDOW
+from ..sim import Environment, Event, Signal, Tracer
+from .errors import (
+    BadPeError,
+    NotInitializedError,
+    ProtocolError,
+    ShmemError,
+    TransferError,
+)
+from .heap import HeapConfig, SymAddr, SymmetricHeap
+from .transfer import (
+    BypassMailbox,
+    DataMailbox,
+    DOORBELL_ACK_BYPASS,
+    DOORBELL_ACK_DATA,
+    DOORBELL_AMO,
+    DOORBELL_BARRIER_END,
+    DOORBELL_BARRIER_START,
+    DOORBELL_BYPASS_MSG,
+    DOORBELL_DMAGET,
+    DOORBELL_DMAPUT,
+    Message,
+    Mode,
+    MsgKind,
+    PayloadSource,
+    SPAD_BLOCK_LEFTWARD,
+    SPAD_BLOCK_RIGHTWARD,
+    chunk_ranges,
+)
+
+__all__ = ["ShmemConfig", "ShmemRuntime", "LinkEnd", "PendingGet",
+           "PendingAmo", "AmoOp"]
+
+#: Handshake magic values written to ScratchPads during init.
+_HELLO_MAGIC = 0x5A5A0000
+_READY_MAGIC = 0xA5A50000
+
+#: AMO operand wire format: op(u32) dtype-code(u32) value(i64) compare(i64).
+_AMO_REQ_FMT = "<IIqq"
+_AMO_RESP_FMT = "<q"
+
+
+class AmoOp:
+    """Remote atomic operation codes (served by the owner's service thread,
+    which is single-threaded per host — that is what makes them atomic)."""
+
+    FETCH = 0
+    SET = 1
+    ADD = 2          # fetch-and-add
+    COMPARE_SWAP = 3
+    AND = 4
+    OR = 5
+    XOR = 6
+
+    ALL = (FETCH, SET, ADD, COMPARE_SWAP, AND, OR, XOR)
+
+
+@dataclass(frozen=True)
+class ShmemConfig:
+    """Runtime shape knobs (defaults per DESIGN.md §5/§6).
+
+    Attributes
+    ----------
+    rx_data_size:
+        Incoming data-window buffer; also the max single Put message.
+    fwd_chunk:
+        Store-and-forward chunk (bypass slot payload size).
+    bypass_slots:
+        Outstanding forwarded chunks per link direction (ablation knob).
+    get_chunk:
+        Get-response chunk; each chunk pays a full interrupt handshake,
+        which is what throttles Get throughput (Fig. 9(b)/(d)).
+    routing:
+        FIXED_RIGHT (paper) or SHORTEST (ablation).
+    barrier:
+        "ring" (paper's Fig. 6), "dissemination", or "centralized".
+    default_mode:
+        DMA or MEMCPY when the caller does not specify.
+    """
+
+    heap: HeapConfig = field(default_factory=HeapConfig)
+    rx_data_size: int = 1024 * 1024
+    fwd_chunk: int = 64 * 1024
+    bypass_slots: int = 2
+    get_chunk: int = 8 * 1024
+    routing: RoutingPolicy = RoutingPolicy.FIXED_RIGHT
+    barrier: str = "ring"
+    default_mode: Mode = Mode.DMA
+    #: µs between ScratchPad polls during the init handshake.
+    handshake_poll_us: float = 5.0
+    #: consistency checking of symmetric allocation logs at barriers.
+    debug_checks: bool = True
+    #: Optional watchdog for blocking Gets/AMOs: raise TransferError if a
+    #: response chunk takes longer than this (None = wait forever).
+    reply_timeout_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rx_data_size < 4096:
+            raise ValueError("rx_data_size too small")
+        if self.fwd_chunk < 1024:
+            raise ValueError("fwd_chunk too small")
+        if not (1 <= self.bypass_slots <= 64):
+            raise ValueError("bypass_slots must be in 1..64")
+        if self.get_chunk < 512:
+            raise ValueError("get_chunk too small")
+        if self.barrier not in ("ring", "dissemination", "centralized"):
+            raise ValueError(f"unknown barrier strategy {self.barrier!r}")
+
+
+@dataclass
+class LinkEnd:
+    """Everything a runtime holds for one of its adapters."""
+
+    side: str                      # "left" | "right"
+    driver: NtbDriver
+    data_mailbox: DataMailbox      # outgoing, via this adapter
+    bypass_mailbox: BypassMailbox  # outgoing, via this adapter
+    rx_data: PinnedBuffer          # incoming data-window target
+    rx_bypass: PinnedBuffer        # incoming bypass-window target
+    incoming_spad_block: int       # where peers' headers appear
+    next_rx_slot: int = 0          # in-order bypass slot cursor
+    peer_host_id: Optional[int] = None
+
+    @property
+    def direction(self) -> Direction:
+        return Direction.RIGHT if self.side == "right" else Direction.LEFT
+
+
+@dataclass
+class PendingGet:
+    """Requester-side state for one outstanding Get."""
+
+    req_id: int
+    dest_virt: int
+    nbytes: int
+    mode: Mode
+    done: Event
+    received: int = 0
+    started_at: float = 0.0
+
+
+@dataclass
+class PendingAmo:
+    """Requester-side state for one outstanding atomic."""
+
+    req_id: int
+    done: Event
+    started_at: float = 0.0
+
+
+class ShmemRuntime:
+    """OpenSHMEM runtime instance for one host/PE."""
+
+    def __init__(self, cluster: Cluster, host_id: int,
+                 config: Optional[ShmemConfig] = None):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.tracer: Tracer = cluster.tracer
+        self.config = config or ShmemConfig()
+        self.host: Host = cluster.host(host_id)
+        self.topology = cluster.topology
+        self.my_pe_id = host_id
+        self.n_pes = cluster.n_hosts
+        self.name = f"pe{host_id}"
+
+        self.heap = SymmetricHeap(self.host, self.config.heap)
+        self.links: dict[str, LinkEnd] = {}
+        self.pending_gets: dict[int, PendingGet] = {}
+        self.pending_amos: dict[int, PendingAmo] = {}
+        self._nbi_handles: list = []
+        self._next_req_id = 1
+        #: fired after any write lands in the local symmetric heap.
+        self.heap_updated = Signal(self.env, name=f"{self.name}.heap_updated")
+        self.initialized = False
+        self._finalized = False
+        # Created during init:
+        self.service = None     # ShmemService
+        self.barrier = None     # barrier strategy object
+        #: small pinned buffer for AMO request/response payloads.
+        self._amo_tx: Optional[PinnedBuffer] = None
+        #: op counters
+        self.put_count = 0
+        self.get_count = 0
+        self.amo_count = 0
+
+    # ------------------------------------------------------------------ init
+    def initialize(self) -> Generator:
+        """``shmem_init()`` — the four-step bring-up of §III-B.1."""
+        if self.initialized:
+            raise ShmemError(f"{self.name}: double shmem_init")
+        # Step 1a: enumerate adapters if the cluster has not yet.
+        for side in ("left", "right"):
+            if not self.cluster.has_adapter(self.my_pe_id, side):
+                continue
+            driver = self.cluster.driver(self.my_pe_id, side)
+            if not driver.is_probed:
+                yield from driver.probe()
+            self._setup_link(side, driver)
+        if not self.links:
+            raise ShmemError(f"{self.name}: host has no NTB adapters")
+        # Step 1b: host-ID / readiness handshake per link (ScratchPads),
+        # in fully phased rounds: all announcements, then all ID polls +
+        # window programming, then all READY flags, then all READY polls.
+        # Interleaving the phases per link deadlocks the ring (host i's
+        # left-link progress would wait on host i-1's right-link progress,
+        # circularly).
+        for link in self.links.values():
+            yield from self._announce(link)
+        for link in self.links.values():
+            yield from self._handshake(link)
+        for link in self.links.values():
+            yield from link.driver.spad_write(
+                link.data_mailbox.spad_block + 1,
+                _READY_MAGIC | self.my_pe_id,
+            )
+        for link in self.links.values():
+            yield from self._await_ready(link)
+        # Step 2: interrupt structure; Step 4: service thread.
+        from .service import ShmemService  # local import avoids cycle
+
+        self.service = ShmemService(self)
+        self._register_irqs()
+        # Barrier strategy.
+        from .barrier import make_barrier  # local import avoids cycle
+
+        self.barrier = make_barrier(self)
+        self._amo_tx = self.host.alloc_pinned(4096)
+        self.initialized = True
+
+    def _setup_link(self, side: str, driver: NtbDriver) -> None:
+        """Step 1 + 3: allocate receive buffers, program translations."""
+        cfg = self.config
+        rx_data = self.host.alloc_pinned(cfg.rx_data_size)
+        out_block = SPAD_BLOCK_RIGHTWARD if side == "right" \
+            else SPAD_BLOCK_LEFTWARD
+        in_block = SPAD_BLOCK_RIGHTWARD if side == "left" \
+            else SPAD_BLOCK_LEFTWARD
+        bypass_mailbox = BypassMailbox(
+            self.env, driver, slot_payload=cfg.fwd_chunk,
+            slots=cfg.bypass_slots, name=f"{self.name}.{side}.bypass",
+        )
+        rx_bypass = self.host.alloc_pinned(bypass_mailbox.window_bytes_needed)
+        self.links[side] = LinkEnd(
+            side=side,
+            driver=driver,
+            data_mailbox=DataMailbox(
+                self.env, driver, spad_block=out_block,
+                name=f"{self.name}.{side}.data",
+            ),
+            bypass_mailbox=bypass_mailbox,
+            rx_data=rx_data,
+            rx_bypass=rx_bypass,
+            incoming_spad_block=in_block,
+        )
+
+    def _announce(self, link: LinkEnd) -> Generator:
+        """Write our host id into the link's outgoing ScratchPad block."""
+        yield from link.driver.spad_write(
+            link.data_mailbox.spad_block + 0, _HELLO_MAGIC | self.my_pe_id
+        )
+
+    def _handshake(self, link: LinkEnd) -> Generator:
+        """Exchange host ids and readiness over the link's ScratchPads,
+        then program windows + LUT — §III-B.1 step 1 verbatim."""
+        driver = link.driver
+        out, inc = link.data_mailbox.spad_block, link.incoming_spad_block
+        # Learn the neighbor.
+        while True:
+            value = yield from driver.spad_read(inc + 0)
+            if (value & 0xFFFF0000) == _HELLO_MAGIC:
+                link.peer_host_id = value & 0xFFFF
+                break
+            yield self.env.timeout(self.config.handshake_poll_us)
+        # Program incoming translations now that we know who is talking,
+        # and add the peer's requester id to our LUT.
+        yield from driver.program_incoming(
+            DATA_WINDOW, link.rx_data.phys, link.rx_data.nbytes
+        )
+        yield from driver.program_incoming(
+            BYPASS_WINDOW, link.rx_bypass.phys, link.rx_bypass.nbytes
+        )
+        peer_side_bit = 1 if link.side == "left" else 0  # peer's opposite side
+        peer_requester = (link.peer_host_id << 8) | peer_side_bit
+        yield from driver.add_lut_entry(peer_requester, self.my_pe_id)
+
+    def _await_ready(self, link: LinkEnd) -> Generator:
+        """Poll the peer's READY flag.  The handshake registers are not
+        cleared afterwards: stale values are harmless because the receive
+        path only decodes the block when a message doorbell rings, by
+        which time a fresh header has overwritten it."""
+        inc = link.incoming_spad_block
+        while True:
+            value = yield from link.driver.spad_read(inc + 1)
+            if (value & 0xFFFF0000) == _READY_MAGIC:
+                break
+            yield self.env.timeout(self.config.handshake_poll_us)
+
+    def _register_irqs(self) -> None:
+        """Step 2: wire doorbell bits to the service thread / mailboxes."""
+        assert self.service is not None
+        for link in self.links.values():
+            driver, side = link.driver, link.side
+            for bit in (DOORBELL_DMAPUT, DOORBELL_DMAGET, DOORBELL_AMO):
+                driver.request_irq(
+                    bit, lambda _b, s=side: self.service.enqueue(s, "data")
+                )
+            driver.request_irq(
+                DOORBELL_BYPASS_MSG,
+                lambda _b, s=side: self.service.enqueue(s, "bypass"),
+            )
+            driver.request_irq(
+                DOORBELL_BARRIER_START,
+                lambda _b, s=side: self.service.enqueue(s, "barrier_start"),
+            )
+            driver.request_irq(
+                DOORBELL_BARRIER_END,
+                lambda _b, s=side: self.service.enqueue(s, "barrier_end"),
+            )
+            # ACKs complete in the top half (no thread hop): they only
+            # release flow-control slots.
+            driver.request_irq(
+                DOORBELL_ACK_DATA,
+                lambda _b, l=link: l.data_mailbox.on_ack(),
+            )
+            driver.request_irq(
+                DOORBELL_ACK_BYPASS,
+                lambda _b, l=link: l.bypass_mailbox.on_ack(),
+            )
+
+    def finalize(self) -> Generator:
+        """``shmem_finalize()`` — quiesce, stop the service, release."""
+        self._check_ready()
+        yield from self.quiet()
+        assert self.service is not None
+        yield from self.service.stop()
+        self.heap.reset()
+        for link in self.links.values():
+            # Release IRQ vectors so the cluster can host a new runtime.
+            base = link.driver.irq_base
+            for bit in range(16):
+                self.host.interrupts.unregister(base + bit)
+            self.host.free_pinned(link.rx_data)
+            self.host.free_pinned(link.rx_bypass)
+        if self._amo_tx is not None:
+            self.host.free_pinned(self._amo_tx)
+            self._amo_tx = None
+        self.links.clear()
+        self.initialized = False
+        self._finalized = True
+
+    # ---------------------------------------------------------------- helpers
+    def _check_ready(self) -> None:
+        if not self.initialized:
+            raise NotInitializedError(
+                f"{self.name}: call shmem_init first"
+                + (" (already finalized)" if self._finalized else "")
+            )
+
+    def check_pe(self, pe: int) -> None:
+        if not (0 <= pe < self.n_pes):
+            raise BadPeError(f"PE {pe} outside 0..{self.n_pes - 1}")
+
+    def next_req_id(self) -> int:
+        req_id = self._next_req_id
+        self._next_req_id = (self._next_req_id + 1) & 0xFFFFFFFF or 1
+        return req_id
+
+    def link_for(self, direction: Direction) -> LinkEnd:
+        side = direction.value
+        try:
+            return self.links[side]
+        except KeyError:
+            raise ProtocolError(
+                f"{self.name}: no {side} adapter for routing"
+            ) from None
+
+    def neighbor_pe(self, direction: Direction) -> Optional[int]:
+        return self.topology.neighbor(self.my_pe_id, direction)
+
+    def route_to(self, pe: int):
+        return self.topology.route(self.my_pe_id, pe, self.config.routing)
+
+    def deliver_to_heap(self, offset: int, data: np.ndarray) -> None:
+        """Land bytes in the local symmetric heap + publish the update."""
+        self.heap.write(SymAddr(offset), data)
+        self.heap_updated.fire(offset)
+
+    # ------------------------------------------------------------------- put
+    def put(self, dest: SymAddr, src_virt: int, nbytes: int, pe: int,
+            mode: Optional[Mode] = None) -> Generator:
+        """One-sided Put: locally blocking (§II-B), returns once the local
+        buffer is reusable.  ``src_virt`` is a local user virtual address.
+
+        Neighbor destinations stream straight through the data window
+        (Fig. 4 upper path); others are chunked into the next hop's bypass
+        window for store-and-forward (lower path).
+        """
+        self._check_ready()
+        self.check_pe(pe)
+        mode = self.config.default_mode if mode is None else mode
+        if nbytes <= 0:
+            raise TransferError(f"put size must be positive, got {nbytes}")
+        self.put_count += 1
+        op_start = self.env.now
+        try:
+            yield from self._put_inner(dest, src_virt, nbytes, pe, mode)
+        finally:
+            self.tracer.observe(f"{self.name}.put_us",
+                                self.env.now - op_start)
+            self.tracer.count(f"{self.name}.put", nbytes=nbytes)
+
+    def _put_inner(self, dest: SymAddr, src_virt: int, nbytes: int,
+                   pe: int, mode: Mode) -> Generator:
+        if pe == self.my_pe_id:
+            # Local put: a plain memcpy into our own heap.
+            yield from self.host.cpu.local_memcpy(nbytes)
+            data = self.host.read_user(src_virt, nbytes)
+            self.deliver_to_heap(dest.offset, data)
+            return
+        route = self.route_to(pe)
+        link = self.link_for(route.direction)
+        if route.hops == 1:
+            for chunk_off, chunk_size in chunk_ranges(
+                    nbytes, self.config.rx_data_size):
+                msg = Message(
+                    kind=MsgKind.PUT_DATA, mode=mode,
+                    src_pe=self.my_pe_id, dest_pe=pe,
+                    offset=dest.offset + chunk_off, size=chunk_size,
+                    seq=link.data_mailbox.next_seq(),
+                )
+                payload = PayloadSource.from_user(
+                    self.host, src_virt + chunk_off, chunk_size
+                )
+                yield from link.data_mailbox.send(msg, payload)
+        else:
+            for chunk_off, chunk_size in chunk_ranges(
+                    nbytes, self.config.fwd_chunk):
+                msg = Message(
+                    kind=MsgKind.PUT_FWD, mode=mode,
+                    src_pe=self.my_pe_id, dest_pe=pe,
+                    offset=dest.offset + chunk_off, size=chunk_size,
+                    seq=link.bypass_mailbox.next_seq(),
+                )
+                payload = PayloadSource.from_user(
+                    self.host, src_virt + chunk_off, chunk_size
+                )
+                yield from link.bypass_mailbox.send(msg, payload)
+
+    # ------------------------------------------------------------------- get
+    def get(self, src: SymAddr, nbytes: int, pe: int, dest_virt: int,
+            mode: Optional[Mode] = None) -> Generator:
+        """One-sided Get: blocks until the data is in ``dest_virt``.
+
+        The request travels to the owner PE hop by hop; the owner's service
+        thread streams the response back along the reverse path in
+        ``get_chunk`` pieces (Fig. 5 lower half).
+        """
+        self._check_ready()
+        self.check_pe(pe)
+        mode = self.config.default_mode if mode is None else mode
+        if nbytes <= 0:
+            raise TransferError(f"get size must be positive, got {nbytes}")
+        self.get_count += 1
+        op_start = self.env.now
+        try:
+            yield from self._get_inner(src, nbytes, pe, dest_virt, mode)
+        finally:
+            self.tracer.observe(f"{self.name}.get_us",
+                                self.env.now - op_start)
+            self.tracer.count(f"{self.name}.get", nbytes=nbytes)
+
+    def _get_inner(self, src: SymAddr, nbytes: int, pe: int,
+                   dest_virt: int, mode: Mode) -> Generator:
+        if pe == self.my_pe_id:
+            yield from self.host.cpu.local_memcpy(nbytes)
+            data = self.heap.read(src, nbytes)
+            self.host.write_user(dest_virt, data)
+            return
+        route = self.route_to(pe)
+        link = self.link_for(route.direction)
+        # Requester-driven chunking: one GET_REQ per get_chunk, each chunk
+        # completing end-to-end before the next request is issued.  This
+        # serialization across the whole path is what makes Get latency
+        # proportional to hop count (Fig. 9(b)): every chunk pays the full
+        # request + response traversal of the ring.
+        for chunk_off, chunk_size in chunk_ranges(
+                nbytes, self.config.get_chunk):
+            req_id = self.next_req_id()
+            pending = PendingGet(
+                req_id=req_id, dest_virt=dest_virt + chunk_off,
+                nbytes=chunk_size, mode=mode,
+                done=self.env.event(), started_at=self.env.now,
+            )
+            self.pending_gets[req_id] = pending
+            msg = Message(
+                kind=MsgKind.GET_REQ, mode=mode,
+                src_pe=self.my_pe_id, dest_pe=pe,
+                offset=src.offset + chunk_off, size=chunk_size, aux=req_id,
+                seq=link.data_mailbox.next_seq(),
+            )
+            yield from link.data_mailbox.send(msg)
+            yield from self._await_reply(pending.done, "get", req_id)
+            del self.pending_gets[req_id]
+
+    # ------------------------------------------------------------------- amo
+    def amo(self, pe: int, target: SymAddr, op: int, value: int = 0,
+            compare: int = 0) -> Generator:
+        """Remote atomic on the owner's heap; returns the old value.
+
+        Served by the owner's single service thread, which is what makes
+        the operation atomic with respect to other remote atomics.
+        """
+        self._check_ready()
+        self.check_pe(pe)
+        if op not in AmoOp.ALL:
+            raise TransferError(f"unknown AMO op {op}")
+        self.amo_count += 1
+        if pe == self.my_pe_id:
+            # Local fast path still serializes through the service thread
+            # for atomicity with concurrent remote AMOs.
+            assert self.service is not None
+            old = yield from self.service.apply_amo_local(
+                target.offset, op, value, compare
+            )
+            return old
+        route = self.route_to(pe)
+        link = self.link_for(route.direction)
+        req_id = self.next_req_id()
+        pending = PendingAmo(req_id=req_id, done=self.env.event(),
+                             started_at=self.env.now)
+        self.pending_amos[req_id] = pending
+        operand = struct.pack(_AMO_REQ_FMT, op, 0, value, compare)
+        assert self._amo_tx is not None
+        self.host.memory.write(self._amo_tx.phys, np.frombuffer(
+            operand, dtype=np.uint8))
+        msg = Message(
+            kind=MsgKind.AMO_REQ, mode=Mode.DMA,
+            src_pe=self.my_pe_id, dest_pe=pe,
+            offset=target.offset, size=len(operand), aux=req_id,
+            seq=link.data_mailbox.next_seq(),
+        )
+        payload = PayloadSource.from_pinned(
+            self.host, self._amo_tx, 0, len(operand)
+        )
+        yield from link.data_mailbox.send(msg, payload)
+        old = yield from self._await_reply(pending.done, "amo", req_id)
+        del self.pending_amos[req_id]
+        return old
+
+    def _await_reply(self, done: Event, op: str, req_id: int) -> Generator:
+        """Wait for a reply event, optionally under the watchdog."""
+        timeout_us = self.config.reply_timeout_us
+        if timeout_us is None:
+            value = yield done
+            return value
+        timer = self.env.timeout(timeout_us)
+        outcome = yield self.env.any_of([done, timer])
+        if done in outcome:
+            return outcome[done]
+        raise TransferError(
+            f"{self.name}: {op} request {req_id} timed out after "
+            f"{timeout_us} µs (lost response? dead link?)"
+        )
+
+    # ------------------------------------------------------------ non-blocking
+    def put_nbi(self, dest: SymAddr, src_virt: int, nbytes: int, pe: int,
+                mode: Optional[Mode] = None):
+        """``shmem_put_nbi``: start a put, return immediately.
+
+        Returns the detached :class:`~repro.sim.Process`; completion is
+        observed via ``quiet`` (which fences all NBI handles) or by
+        yielding the handle directly.  The source buffer must stay
+        untouched until then — exactly the OpenSHMEM contract.
+        """
+        self._check_ready()
+        handle = self.env.process(
+            self.put(dest, src_virt, nbytes, pe, mode),
+            name=f"{self.name}.put_nbi",
+        )
+        self._nbi_handles.append(handle)
+        return handle
+
+    def get_nbi(self, src: SymAddr, nbytes: int, pe: int, dest_virt: int,
+                mode: Optional[Mode] = None):
+        """``shmem_get_nbi``: start a get, return immediately.
+
+        The destination buffer holds the data only after ``quiet`` (or
+        after yielding the returned handle).
+        """
+        self._check_ready()
+        handle = self.env.process(
+            self.get(src, nbytes, pe, dest_virt, mode),
+            name=f"{self.name}.get_nbi",
+        )
+        self._nbi_handles.append(handle)
+        return handle
+
+    def put_signal(self, dest: SymAddr, src_virt: int, nbytes: int,
+                   pe: int, signal: SymAddr, signal_value: int,
+                   mode: Optional[Mode] = None) -> Generator:
+        """``shmem_put_signal``: put data, then put ``signal_value`` into
+        the 8-byte ``signal`` cell on the same PE.
+
+        Delivery channels are in-order per direction, so the signal write
+        lands after the data — the consumer pairs it with ``wait_until``.
+        """
+        yield from self.put(dest, src_virt, nbytes, pe, mode)
+        raw = struct.pack("<q", signal_value)
+        staging = self.host.mmap(4096)
+        try:
+            self.host.write_user(staging.virt, np.frombuffer(raw, np.uint8))
+            yield from self.put(signal, staging.virt, 8, pe, mode)
+        finally:
+            self.host.munmap(staging)
+
+    # ----------------------------------------------------------------- fences
+    def quiet(self) -> Generator:
+        """Wait until all locally initiated traffic is acknowledged.
+
+        For neighbor Puts an ACK means the destination drained the data
+        into its heap (remote completion).  For multi-hop Puts it covers
+        the first hop only; end-to-end completion is provided by
+        ``barrier_all`` (token FIFO-flushes behind forwarded data) — the
+        same guarantee the paper's prototype offers.
+        """
+        self._check_ready()
+        # Join every outstanding non-blocking operation first.
+        while self._nbi_handles:
+            handle = self._nbi_handles.pop()
+            if handle.is_alive:
+                yield handle
+        while True:
+            busy = [
+                link for link in self.links.values()
+                if not link.data_mailbox.idle or not link.bypass_mailbox.idle
+            ]
+            if not busy and not self.pending_gets and not self.pending_amos:
+                return
+            # Poll cheaply: ACK top halves run at interrupt time, so a
+            # short sleep is enough to see progress.
+            yield self.env.timeout(1.0)
+
+    def forwarding_quiesce(self) -> Generator:
+        """Wait until this host's store-and-forward pipeline is empty.
+
+        Barrier strategies call this before propagating a token so the
+        token cannot overtake data this host is forwarding on behalf of
+        other PEs — that is what gives ``barrier_all`` end-to-end flush
+        semantics for multi-hop Puts (the first-hop ACK covered by
+        ``quiet`` is not enough).
+        """
+        assert self.service is not None
+        svc = self.service
+        while (svc.active_forwards or svc.active_responders
+               or svc._work or not svc.thread.is_sleeping):
+            yield self.env.timeout(1.0)
+
+    def barrier_all(self) -> Generator:
+        """``shmem_barrier_all()`` — quiesce, then run the strategy."""
+        self._check_ready()
+        op_start = self.env.now
+        yield from self.quiet()
+        assert self.barrier is not None
+        yield from self.barrier.wait()
+        self.tracer.observe(f"{self.name}.barrier_us",
+                            self.env.now - op_start)
+
+    # ------------------------------------------------------------------ misc
+    def malloc(self, nbytes: int) -> Generator:
+        """``shmem_malloc`` (charged: allocator + possible chunk growth)."""
+        self._check_ready()
+        before = self.heap.n_chunks
+        addr = self.heap.malloc(nbytes)
+        grew = self.heap.n_chunks - before
+        # Cost: bookkeeping plus one mmap+page-table fill per new chunk.
+        yield from self.host.cpu._charge(0.5 + 40.0 * grew)
+        return addr
+
+    def free(self, addr: SymAddr) -> Generator:
+        self._check_ready()
+        self.heap.free(addr)
+        yield from self.host.cpu._charge(0.3)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ShmemRuntime {self.name} init={self.initialized} "
+            f"links={sorted(self.links)}>"
+        )

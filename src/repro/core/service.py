@@ -1,0 +1,466 @@
+"""The per-host service thread: Fig. 5's interrupt service state machine.
+
+§III-B.1 step 4 creates "a thread to run and process asynchronous data
+transferring to support the one-sided communication property".  This module
+is that thread.  Doorbell top halves enqueue work items; the thread drains
+them in arrival order (FIFO — the property that makes the ring barrier
+token a flush fence behind forwarded data) and for each message decides,
+exactly as Fig. 5 does:
+
+* *Destination is me?*  → drain the payload into the symmetric heap /
+  pending-get buffer / AMO table and ACK.
+* *Destination is my neighbor?* → deliver through the **data** window.
+* otherwise → store-and-forward through the next hop's **bypass** window.
+
+Get requests additionally walk the "Source is me?" branch: the owner spawns
+a responder that streams chunks back along the reverse path.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from ..host import KernelThread
+from ..sim import Event
+from .errors import ProtocolError
+from .heap import SymAddr
+from .transfer import (
+    Message,
+    Mode,
+    MsgKind,
+    PayloadSource,
+    SLOT_HEADER_BYTES,
+    chunk_ranges,
+    unpack_header_bytes,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import LinkEnd, ShmemRuntime
+
+__all__ = ["ShmemService"]
+
+_AMO_REQ_FMT = "<IIqq"
+_AMO_RESP_FMT = "<q"
+_AMO_REQ_BYTES = struct.calcsize(_AMO_REQ_FMT)
+
+#: CPU cost of one atomic read-modify-write on the heap (µs).
+_AMO_APPLY_US = 0.5
+#: CPU cost of parsing an in-slot header (µs).
+_SLOT_HEADER_US = 0.2
+
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _amo_compute(op: int, old: int, value: int, compare: int) -> int:
+    """Pure AMO arithmetic on signed 64-bit cells."""
+    from .runtime import AmoOp  # local import avoids cycle
+
+    if op == AmoOp.FETCH:
+        return old
+    if op == AmoOp.SET:
+        return value
+    if op == AmoOp.ADD:
+        return _signed64(old + value)
+    if op == AmoOp.COMPARE_SWAP:
+        return value if old == compare else old
+    if op == AmoOp.AND:
+        return _signed64((old & _U64_MASK) & (value & _U64_MASK))
+    if op == AmoOp.OR:
+        return _signed64((old & _U64_MASK) | (value & _U64_MASK))
+    if op == AmoOp.XOR:
+        return _signed64((old & _U64_MASK) ^ (value & _U64_MASK))
+    raise ProtocolError(f"unknown AMO op {op}")
+
+
+def _signed64(value: int) -> int:
+    value &= _U64_MASK
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+class ShmemService:
+    """Owns the work queue, the kernel thread, and all message handlers."""
+
+    def __init__(self, runtime: "ShmemRuntime"):
+        self.rt = runtime
+        self.env = runtime.env
+        self._work: deque[tuple[str, str]] = deque()
+        self._staging = runtime.host.alloc_pinned(
+            max(runtime.config.fwd_chunk, runtime.config.get_chunk, 4096)
+        )
+        self.thread = KernelThread(
+            self.env, f"{runtime.name}.service", self._body,
+            wake_latency_us=runtime.host.cost_model.thread_wake_us,
+        )
+        #: diagnostics
+        self.handled: dict[str, int] = {}
+        self.active_responders = 0
+        #: in-flight spawned forward/reply tasks (see _spawn_task).
+        self.active_forwards = 0
+
+    # ---------------------------------------------------------------- intake
+    def enqueue(self, side: str, kind: str) -> None:
+        """Top-half entry: record work and kick the thread."""
+        self._work.append((side, kind))
+        self.thread.kick()
+
+    @property
+    def is_idle(self) -> bool:
+        return (not self._work and self.thread.is_sleeping
+                and self.active_responders == 0
+                and self.active_forwards == 0)
+
+    def stop(self) -> Generator:
+        # Let in-flight forwards/responders drain before killing the thread.
+        while (self.active_forwards or self.active_responders
+               or self._work):
+            yield self.env.timeout(1.0)
+        self.thread.stop()
+        yield self.thread.join()
+        self.rt.host.free_pinned(self._staging)
+
+    # ------------------------------------------------------------------ body
+    def _body(self, thread: KernelThread) -> Generator:
+        while True:
+            yield from thread.wait_work()
+            if thread.stop_requested and not self._work:
+                return
+            while self._work:
+                side, kind = self._work.popleft()
+                self.handled[kind] = self.handled.get(kind, 0) + 1
+                if kind == "data":
+                    yield from self._handle_data(side)
+                elif kind == "bypass":
+                    yield from self._handle_bypass(side)
+                elif kind in ("barrier_start", "barrier_end"):
+                    assert self.rt.barrier is not None
+                    self.rt.barrier.on_token(side, kind)
+                else:  # pragma: no cover - defensive
+                    raise ProtocolError(f"unknown work kind {kind!r}")
+
+    # --------------------------------------------------------------- channels
+    def _handle_data(self, side: str) -> Generator:
+        """A data-window message: header in ScratchPads, payload at rx[0]."""
+        link = self.rt.links[side]
+        msg = yield from link.data_mailbox.recv_header(
+            link.incoming_spad_block
+        )
+        yield from self._dispatch(
+            msg, link, payload_phys=link.rx_data.phys, channel="data"
+        )
+
+    def _handle_bypass(self, side: str) -> Generator:
+        """A bypass-window message: in-slot header, in-order slots."""
+        link = self.rt.links[side]
+        mailbox = link.bypass_mailbox
+        slot = link.next_rx_slot
+        link.next_rx_slot = (slot + 1) % mailbox.slots
+        base = link.rx_bypass.phys + slot * mailbox.slot_stride
+        yield from self.rt.host.cpu._charge(_SLOT_HEADER_US)
+        msg = unpack_header_bytes(self.rt.host.memory.read(base, 16))
+        yield from self._dispatch(
+            msg, link, payload_phys=base + SLOT_HEADER_BYTES, channel="bypass"
+        )
+
+    def _ack(self, link: "LinkEnd", channel: str) -> Generator:
+        if channel == "data":
+            yield from link.data_mailbox.ack()
+        else:
+            yield from link.bypass_mailbox.ack()
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch(self, msg: Message, link: "LinkEnd", payload_phys: int,
+                  channel: str) -> Generator:
+        rt = self.rt
+        me = rt.my_pe_id
+        kind = msg.kind
+
+        if kind in (MsgKind.PUT_DATA, MsgKind.PUT_FWD):
+            if msg.dest_pe == me:
+                yield from self._deliver_put(msg, link, payload_phys, channel)
+            elif kind is MsgKind.PUT_DATA:
+                raise ProtocolError(
+                    f"{rt.name}: misrouted PUT_DATA for PE {msg.dest_pe}"
+                )
+            else:
+                yield from self._forward(msg, link, payload_phys, channel)
+            return
+
+        if kind is MsgKind.GET_REQ:
+            # Control only — ACK right away to free the ScratchPads.
+            yield from self._ack(link, channel)
+            if msg.dest_pe == me:
+                self._spawn_responder(msg, reply_side=link.side)
+            else:
+                yield from self._forward_control(msg, link)
+            return
+
+        if kind is MsgKind.GET_RESP:
+            if msg.dest_pe == me:
+                yield from self._deliver_get_chunk(
+                    msg, link, payload_phys, channel
+                )
+            else:
+                yield from self._forward(msg, link, payload_phys, channel)
+            return
+
+        if kind is MsgKind.AMO_REQ:
+            if msg.dest_pe == me:
+                yield from self._serve_amo(msg, link, payload_phys, channel)
+            else:
+                yield from self._forward(msg, link, payload_phys, channel)
+            return
+
+        if kind is MsgKind.AMO_RESP:
+            if msg.dest_pe == me:
+                yield from self._deliver_amo_resp(
+                    msg, link, payload_phys, channel
+                )
+            else:
+                yield from self._forward(msg, link, payload_phys, channel)
+            return
+
+        if kind is MsgKind.BARRIER_MSG:
+            yield from self._ack(link, channel)
+            if msg.dest_pe == me:
+                assert rt.barrier is not None
+                rt.barrier.on_notify(msg)
+            else:
+                yield from self._forward_control(msg, link)
+            return
+
+        raise ProtocolError(f"{rt.name}: unhandled kind {kind!r}")
+
+    # --------------------------------------------------------------- delivery
+    def _deliver_put(self, msg: Message, link: "LinkEnd", payload_phys: int,
+                     channel: str) -> Generator:
+        """Fig. 5: destination is me — copy window buffer → symmetric heap."""
+        rt = self.rt
+        yield from rt.host.cpu.local_memcpy(msg.size)
+        data = rt.host.memory.read(payload_phys, msg.size)
+        rt.deliver_to_heap(msg.offset, data)
+        yield from self._ack(link, channel)
+
+    def _deliver_get_chunk(self, msg: Message, link: "LinkEnd",
+                           payload_phys: int, channel: str) -> Generator:
+        """One response chunk for a Get we initiated."""
+        rt = self.rt
+        pending = rt.pending_gets.get(msg.aux)
+        if pending is None:
+            raise ProtocolError(
+                f"{rt.name}: GET_RESP for unknown request {msg.aux}"
+            )
+        if msg.offset + msg.size > pending.nbytes:
+            raise ProtocolError(
+                f"{rt.name}: GET_RESP chunk overruns request {msg.aux}"
+            )
+        # The window-target region is mapped uncached in the prototype, so
+        # the memcpy-mode drain pays the PIO read rate; the DMA path copies
+        # out at cached-memcpy speed (see EXPERIMENTS.md, Fig. 9 notes).
+        if pending.mode is Mode.MEMCPY:
+            yield from rt.host.cpu.pio_read(msg.size)
+        else:
+            yield from rt.host.cpu.local_memcpy(msg.size)
+        data = rt.host.memory.read(payload_phys, msg.size)
+        rt.host.write_user(pending.dest_virt + msg.offset, data)
+        pending.received += msg.size
+        yield from self._ack(link, channel)
+        if pending.received >= pending.nbytes:
+            pending.done.succeed()
+
+    def _deliver_amo_resp(self, msg: Message, link: "LinkEnd",
+                          payload_phys: int, channel: str) -> Generator:
+        rt = self.rt
+        pending = rt.pending_amos.get(msg.aux)
+        if pending is None:
+            raise ProtocolError(
+                f"{rt.name}: AMO_RESP for unknown request {msg.aux}"
+            )
+        raw = rt.host.memory.read_bytes(payload_phys, 8)
+        (old,) = struct.unpack(_AMO_RESP_FMT, raw)
+        yield from self._ack(link, channel)
+        pending.done.succeed(old)
+
+    # -------------------------------------------------------------- forwarding
+    def _out_link(self, in_link: "LinkEnd") -> "LinkEnd":
+        """Messages keep travelling the direction they arrived from."""
+        out_side = "right" if in_link.side == "left" else "left"
+        try:
+            return self.rt.links[out_side]
+        except KeyError:
+            raise ProtocolError(
+                f"{self.rt.name}: cannot forward, no {out_side} adapter"
+            ) from None
+
+    def _forward(self, msg: Message, in_link: "LinkEnd", payload_phys: int,
+                 channel: str) -> Generator:
+        """Store-and-forward a payload message one hop onward (Fig. 4/5).
+
+        The chunk is copied into a per-message staging buffer, the incoming
+        slot is ACKed, and the onward send runs as a *spawned task* — the
+        service thread itself never blocks on a downstream mailbox slot.
+        Blocking in place would make the thread part of a hold-and-wait
+        cycle around the ring (every host's thread waiting for the next
+        host's thread to drain), a real distributed deadlock this design
+        hit before the tasks were detached.
+        """
+        rt = self.rt
+        out_link = self._out_link(in_link)
+        next_pe = rt.neighbor_pe(out_link.direction)
+        yield from rt.host.cpu.local_memcpy(msg.size)
+        staging = rt.host.alloc_pinned(max(msg.size, 64))
+        rt.host.memory.write(
+            staging.phys, rt.host.memory.view(payload_phys, msg.size)
+        )
+        yield from self._ack(in_link, channel)
+        self._spawn_task(msg, out_link, next_pe, staging)
+
+    def _send_onward(self, msg: Message, out_link: "LinkEnd",
+                     next_pe: Optional[int],
+                     payload: Optional[PayloadSource]) -> Generator:
+        """Pick the delivery window for the next hop and transmit."""
+        rt = self.rt
+        if next_pe is None:
+            raise ProtocolError(f"{rt.name}: forwarding off the chain end")
+        final_leg = next_pe == msg.dest_pe
+        if payload is None or msg.kind in (
+                MsgKind.GET_REQ, MsgKind.AMO_REQ, MsgKind.AMO_RESP,
+                MsgKind.BARRIER_MSG) or final_leg:
+            # Control traffic and final-hop payloads go through the data
+            # window; re-tag transit Puts for final delivery.
+            kind = MsgKind.PUT_DATA if (
+                msg.kind in (MsgKind.PUT_DATA, MsgKind.PUT_FWD) and final_leg
+            ) else msg.kind
+            out = Message(
+                kind=kind, mode=msg.mode, src_pe=msg.src_pe,
+                dest_pe=msg.dest_pe, offset=msg.offset, size=msg.size,
+                aux=msg.aux, seq=out_link.data_mailbox.next_seq(),
+            )
+            yield from out_link.data_mailbox.send(out, payload)
+        else:
+            out = Message(
+                kind=msg.kind if msg.kind is not MsgKind.PUT_DATA
+                else MsgKind.PUT_FWD,
+                mode=msg.mode, src_pe=msg.src_pe, dest_pe=msg.dest_pe,
+                offset=msg.offset, size=msg.size, aux=msg.aux,
+                seq=out_link.bypass_mailbox.next_seq(),
+            )
+            assert payload is not None
+            yield from out_link.bypass_mailbox.send(out, payload)
+
+    def _forward_control(self, msg: Message, in_link: "LinkEnd") -> Generator:
+        out_link = self._out_link(in_link)
+        next_pe = self.rt.neighbor_pe(out_link.direction)
+        self._spawn_task(msg, out_link, next_pe, staging=None)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def _spawn_task(self, msg: Message, out_link: "LinkEnd",
+                    next_pe: Optional[int],
+                    staging) -> None:
+        """Detach an onward send so the service thread cannot deadlock.
+
+        Ordering: tasks are spawned in arrival order and a send's first
+        action is the mailbox slot request, so FIFO slot granting plus the
+        mailbox TX lock preserve per-direction message order.
+        """
+        self.active_forwards += 1
+        self.env.process(
+            self._onward_task(msg, out_link, next_pe, staging),
+            name=f"{self.rt.name}.fwd.{msg.kind.name}",
+        )
+
+    def _onward_task(self, msg: Message, out_link: "LinkEnd",
+                     next_pe: Optional[int], staging) -> Generator:
+        try:
+            payload = None
+            if staging is not None:
+                payload = PayloadSource.from_pinned(
+                    self.rt.host, staging, 0, msg.size
+                )
+            yield from self._send_onward(msg, out_link, next_pe, payload)
+        finally:
+            if staging is not None:
+                self.rt.host.free_pinned(staging)
+            self.active_forwards -= 1
+
+    # ------------------------------------------------------------------- gets
+    def _spawn_responder(self, msg: Message, reply_side: str) -> None:
+        """Owner side of a Get: stream chunks back along the reverse path."""
+        self.active_responders += 1
+        self.env.process(
+            self._serve_get(msg, reply_side),
+            name=f"{self.rt.name}.get_responder.{msg.aux}",
+        )
+
+    def _serve_get(self, msg: Message, reply_side: str) -> Generator:
+        rt = self.rt
+        chunk = rt.config.get_chunk
+        staging = rt.host.alloc_pinned(chunk)
+        try:
+            out_link = rt.links[reply_side]
+            next_pe = rt.neighbor_pe(out_link.direction)
+            for chunk_off, chunk_size in chunk_ranges(msg.size, chunk):
+                # heap -> staging (cached copy)
+                yield from rt.host.cpu.local_memcpy(chunk_size)
+                data = rt.heap.read(
+                    SymAddr(msg.offset + chunk_off), chunk_size
+                )
+                rt.host.memory.write(staging.phys, data)
+                payload = PayloadSource.from_pinned(
+                    rt.host, staging, 0, chunk_size
+                )
+                resp = Message(
+                    kind=MsgKind.GET_RESP, mode=msg.mode,
+                    src_pe=rt.my_pe_id, dest_pe=msg.src_pe,
+                    offset=chunk_off, size=chunk_size, aux=msg.aux,
+                    seq=0,  # stamped by _send_onward per mailbox
+                )
+                yield from self._send_onward(resp, out_link, next_pe, payload)
+        finally:
+            rt.host.free_pinned(staging)
+            self.active_responders -= 1
+
+    # ------------------------------------------------------------------- amos
+    def _serve_amo(self, msg: Message, link: "LinkEnd", payload_phys: int,
+                   channel: str) -> Generator:
+        rt = self.rt
+        raw = rt.host.memory.read_bytes(payload_phys, _AMO_REQ_BYTES)
+        op, _dtype, value, compare = struct.unpack(_AMO_REQ_FMT, raw)
+        yield from self._ack(link, channel)
+        old = yield from self.apply_amo_local(msg.offset, op, value, compare)
+        # Reply along the reverse path (detached, like every onward send).
+        out_link = link
+        next_pe = rt.neighbor_pe(out_link.direction)
+        staging = rt.host.alloc_pinned(64)
+        rt.host.memory.write(
+            staging.phys,
+            np.frombuffer(struct.pack(_AMO_RESP_FMT, old), dtype=np.uint8),
+        )
+        resp = Message(
+            kind=MsgKind.AMO_RESP, mode=Mode.DMA,
+            src_pe=rt.my_pe_id, dest_pe=msg.src_pe,
+            offset=msg.offset, size=8, aux=msg.aux, seq=0,
+        )
+        self._spawn_task(resp, out_link, next_pe, staging)
+
+    def apply_amo_local(self, offset: int, op: int, value: int,
+                        compare: int) -> Generator:
+        """Atomic read-modify-write on the local heap.
+
+        The RMW itself happens without yielding (hence atomically with
+        respect to every other simulated actor); the time cost is charged
+        beforehand.
+        """
+        rt = self.rt
+        yield from rt.host.cpu._charge(_AMO_APPLY_US)
+        raw = rt.heap.read(SymAddr(offset), 8).tobytes()
+        (old,) = struct.unpack("<q", raw)
+        new = _amo_compute(op, old, value, compare)
+        rt.heap.write(SymAddr(offset), np.frombuffer(
+            struct.pack("<q", new), dtype=np.uint8))
+        rt.heap_updated.fire(offset)
+        return old

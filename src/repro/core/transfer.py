@@ -1,0 +1,430 @@
+"""Wire protocol of the OpenSHMEM-over-NTB runtime.
+
+§III-B.3 of the paper: after moving payload through a memory window, the
+sender "sends information about the data which includes the host Ids of
+source and destination PEs, index, address offset and size" through the
+ScratchPad registers, then "triggers the interrupt signal" with a doorbell.
+This module implements that protocol precisely, plus the bookkeeping the
+paper leaves implicit (flow control, multi-message framing):
+
+* :class:`Message` / 4x32-bit packing — the ScratchPad record format.
+  The 8 registers of each link are split 4+4 between the two directions.
+* :class:`PayloadSource` — where outgoing bytes come from (paged user
+  range or pinned staging buffer) for both the DMA and memcpy paths.
+* :class:`DataMailbox` — one-outstanding-message channel through the
+  **data window** with the header in ScratchPads (the paper's mechanism).
+* :class:`BypassMailbox` — multi-slot channel through the **bypass
+  window** with in-slot headers (ntb_transport-style), used for
+  store-and-forward so forwarding pipelines; slot count is an ablation
+  knob (DESIGN.md §6).
+
+Doorbell bit assignment (paper's four + protocol extensions)::
+
+    0  DOORBELL_DMAPUT         data-window message: Put payload
+    1  DOORBELL_DMAGET         data-window message: Get request/response
+    2  DOORBELL_BARRIER_START  ring barrier start token
+    3  DOORBELL_BARRIER_END    ring barrier end token
+    4  DOORBELL_ACK_DATA       data-window slot drained (flow control)
+    5  DOORBELL_AMO            data-window message: atomic op
+    6  DOORBELL_ACK_BYPASS     bypass slot drained (flow control)
+    7  DOORBELL_BYPASS_MSG     bypass-window message arrived
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from ..host import Host, PinnedBuffer
+from ..memory import PhysSegment
+from ..ntb import NtbDriver
+from ..ntb.device import BYPASS_WINDOW, DATA_WINDOW
+from ..sim import Environment, Event, Resource
+from .errors import ProtocolError, TransferError
+
+__all__ = [
+    "MsgKind",
+    "Mode",
+    "Message",
+    "pack_message",
+    "unpack_message",
+    "PayloadSource",
+    "DataMailbox",
+    "BypassMailbox",
+    "DOORBELL_DMAPUT",
+    "DOORBELL_DMAGET",
+    "DOORBELL_BARRIER_START",
+    "DOORBELL_BARRIER_END",
+    "DOORBELL_ACK_DATA",
+    "DOORBELL_AMO",
+    "DOORBELL_ACK_BYPASS",
+    "DOORBELL_BYPASS_MSG",
+    "SPAD_BLOCK_RIGHTWARD",
+    "SPAD_BLOCK_LEFTWARD",
+    "SLOT_HEADER_BYTES",
+]
+
+# Doorbell bit map (see module docstring).
+DOORBELL_DMAPUT = 0
+DOORBELL_DMAGET = 1
+DOORBELL_BARRIER_START = 2
+DOORBELL_BARRIER_END = 3
+DOORBELL_ACK_DATA = 4
+DOORBELL_AMO = 5
+DOORBELL_ACK_BYPASS = 6
+DOORBELL_BYPASS_MSG = 7
+
+#: ScratchPad register blocks: messages travelling rightward (through a
+#: host's *right* adapter) use regs 0-3 of that link; leftward use 4-7.
+SPAD_BLOCK_RIGHTWARD = 0
+SPAD_BLOCK_LEFTWARD = 4
+SPAD_BLOCK_REGS = 4
+
+#: Bypass-slot in-memory header size (4 x u32, padded to a cacheline).
+SLOT_HEADER_BYTES = 64
+
+
+class MsgKind(enum.IntEnum):
+    """Message kinds carried in the header."""
+
+    PUT_DATA = 1     # payload for the *destination* PE's symmetric heap
+    PUT_FWD = 2      # payload in transit (store-and-forward hop)
+    GET_REQ = 3      # control: request data from the owner PE
+    GET_RESP = 4     # payload: one chunk of a get response
+    AMO_REQ = 5      # control+operand: remote atomic request
+    AMO_RESP = 6     # payload: atomic old-value reply
+    BARRIER_MSG = 7  # control: dissemination-barrier notification
+
+    @property
+    def doorbell_bit(self) -> int:
+        if self in (MsgKind.PUT_DATA, MsgKind.PUT_FWD):
+            return DOORBELL_DMAPUT
+        if self in (MsgKind.GET_REQ, MsgKind.GET_RESP, MsgKind.BARRIER_MSG):
+            return DOORBELL_DMAGET
+        return DOORBELL_AMO
+
+    @property
+    def carries_payload(self) -> bool:
+        return self in (MsgKind.PUT_DATA, MsgKind.PUT_FWD, MsgKind.GET_RESP,
+                        MsgKind.AMO_REQ, MsgKind.AMO_RESP)
+
+
+class Mode(enum.IntEnum):
+    """Data-movement mode (the paper's RDMA-vs-memcpy axis, Fig. 9)."""
+
+    DMA = 0
+    MEMCPY = 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol record (fits four 32-bit ScratchPads).
+
+    ``offset``/``size`` are the paper's "Address Offset" / "Data Size";
+    ``aux`` carries a request id (get/amo) or chunk offset; ``seq`` is a
+    per-direction sequence number used to catch protocol bugs.
+    """
+
+    kind: MsgKind
+    mode: Mode
+    src_pe: int
+    dest_pe: int
+    offset: int
+    size: int
+    aux: int = 0
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.src_pe < 256 and 0 <= self.dest_pe < 256):
+            raise ProtocolError(f"PE ids must fit a byte: {self}")
+        if not (0 <= self.offset < 2**32 and 0 <= self.size < 2**32):
+            raise ProtocolError(f"offset/size must fit u32: {self}")
+        if not (0 <= self.aux < 2**32):
+            raise ProtocolError(f"aux must fit u32: {self}")
+
+
+def pack_message(msg: Message) -> tuple[int, int, int, int]:
+    """Message -> four u32 register values."""
+    reg0 = (
+        (int(msg.kind) & 0xF) << 28
+        | (int(msg.mode) & 0x3) << 26
+        | (msg.src_pe & 0xFF) << 16
+        | (msg.dest_pe & 0xFF) << 8
+        | (msg.seq & 0xFF)
+    )
+    return reg0, msg.offset, msg.size, msg.aux
+
+
+def unpack_message(regs: Sequence[int]) -> Message:
+    """Four u32 register values -> Message (validates the kind)."""
+    if len(regs) != SPAD_BLOCK_REGS:
+        raise ProtocolError(f"expected {SPAD_BLOCK_REGS} regs, got {len(regs)}")
+    reg0, offset, size, aux = regs
+    kind_val = (reg0 >> 28) & 0xF
+    try:
+        kind = MsgKind(kind_val)
+    except ValueError:
+        raise ProtocolError(f"bad message kind {kind_val} in {reg0:#010x}") \
+            from None
+    return Message(
+        kind=kind,
+        mode=Mode((reg0 >> 26) & 0x3),
+        src_pe=(reg0 >> 16) & 0xFF,
+        dest_pe=(reg0 >> 8) & 0xFF,
+        offset=offset,
+        size=size,
+        aux=aux,
+        seq=reg0 & 0xFF,
+    )
+
+
+def pack_header_bytes(msg: Message) -> bytes:
+    """In-slot header encoding (bypass mailbox)."""
+    regs = pack_message(msg)
+    return struct.pack("<4I", *regs).ljust(SLOT_HEADER_BYTES, b"\0")
+
+
+def unpack_header_bytes(raw: bytes | np.ndarray) -> Message:
+    buf = bytes(raw[:16])
+    return unpack_message(struct.unpack("<4I", buf))
+
+
+class PayloadSource:
+    """Where an outgoing payload lives on the sending host.
+
+    Either a *paged user range* (virt, nbytes) — put/get sources, which DMA
+    as one descriptor per page — or a *pinned range* inside a staging
+    buffer (single descriptor).
+    """
+
+    def __init__(self, host: Host, *, virt: Optional[int] = None,
+                 pinned: Optional[PinnedBuffer] = None,
+                 pinned_offset: int = 0, nbytes: int = 0):
+        if (virt is None) == (pinned is None):
+            raise TransferError("exactly one of virt/pinned required")
+        if nbytes <= 0:
+            raise TransferError(f"payload size must be positive, got {nbytes}")
+        self.host = host
+        self.virt = virt
+        self.pinned = pinned
+        self.pinned_offset = pinned_offset
+        self.nbytes = nbytes
+        if pinned is not None and pinned_offset + nbytes > pinned.nbytes:
+            raise TransferError("payload overruns pinned staging buffer")
+
+    @classmethod
+    def from_user(cls, host: Host, virt: int, nbytes: int) -> "PayloadSource":
+        return cls(host, virt=virt, nbytes=nbytes)
+
+    @classmethod
+    def from_pinned(cls, host: Host, pinned: PinnedBuffer, offset: int,
+                    nbytes: int) -> "PayloadSource":
+        return cls(host, pinned=pinned, pinned_offset=offset, nbytes=nbytes)
+
+    def segments(self) -> list[PhysSegment]:
+        """Physical SG list (per-page for user memory, single if pinned)."""
+        if self.virt is not None:
+            return self.host.user_segments(self.virt, self.nbytes)
+        assert self.pinned is not None
+        return [PhysSegment(self.pinned.phys + self.pinned_offset, self.nbytes)]
+
+    def data(self) -> np.ndarray:
+        """The payload bytes (zero-time read; PIO timing charged separately)."""
+        if self.virt is not None:
+            return self.host.read_user(self.virt, self.nbytes)
+        assert self.pinned is not None
+        return self.host.memory.read(
+            self.pinned.phys + self.pinned_offset, self.nbytes
+        )
+
+
+class _MailboxBase:
+    """Shared flow-control plumbing: a slot pool + FIFO ACK releases."""
+
+    def __init__(self, env: Environment, driver: NtbDriver, name: str,
+                 capacity: int):
+        self.env = env
+        self.driver = driver
+        self.name = name
+        self._slots = Resource(env, capacity=capacity, name=f"{name}.slots")
+        self._outstanding: deque = deque()
+        self._seq = 0
+        #: diagnostics
+        self.sent_count = 0
+        self.acked_count = 0
+
+    def next_seq(self) -> int:
+        self._seq = (self._seq + 1) & 0xFF
+        return self._seq
+
+    def on_ack(self) -> None:
+        """Peer drained our oldest outstanding slot (ACK doorbell)."""
+        if not self._outstanding:
+            raise ProtocolError(f"{self.name}: ACK with nothing outstanding")
+        request = self._outstanding.popleft()
+        self.acked_count += 1
+        self._slots.release(request)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._outstanding)
+
+    @property
+    def idle(self) -> bool:
+        return not self._outstanding and self._slots.queue_length == 0
+
+
+class DataMailbox(_MailboxBase):
+    """One-outstanding channel through the data window + ScratchPads.
+
+    This is the paper's §III-B.3 mechanism verbatim: payload (if any) goes
+    through the data memory window at offset 0, the header goes into the
+    direction's ScratchPad block, then the kind-specific doorbell rings.
+    """
+
+    def __init__(self, env: Environment, driver: NtbDriver,
+                 spad_block: int, name: str):
+        super().__init__(env, driver, name, capacity=1)
+        self.spad_block = spad_block
+
+    def send(self, msg: Message, payload: Optional[PayloadSource] = None,
+             ) -> Generator:
+        """Transmit one message; returns after the *local* hand-off
+        (payload written + header + doorbell), i.e. locally blocking."""
+        if msg.kind.carries_payload and payload is None:
+            raise ProtocolError(f"{self.name}: {msg.kind.name} needs payload")
+        request = self._slots.request()
+        yield request
+        self._outstanding.append(request)
+        if payload is not None:
+            if msg.size != payload.nbytes:
+                raise ProtocolError(
+                    f"{self.name}: header size {msg.size} != payload "
+                    f"{payload.nbytes}"
+                )
+            yield from self._write_payload(msg.mode, payload)
+        regs = pack_message(msg)
+        yield from self.driver.spad_write_block(self.spad_block, list(regs))
+        yield from self.driver.ring_doorbell(msg.kind.doorbell_bit)
+        self.sent_count += 1
+
+    def _write_payload(self, mode: Mode, payload: PayloadSource) -> Generator:
+        if mode is Mode.DMA:
+            dma_req = yield from self.driver.dma_write_segments(
+                DATA_WINDOW, 0, payload.segments()
+            )
+            yield dma_req.done
+        else:
+            yield from self.driver.pio_window_write(
+                DATA_WINDOW, 0, payload.data()
+            )
+
+    def recv_header(self, incoming_block: int) -> Generator:
+        """Receiver side: read + decode an incoming ScratchPad block.
+
+        ``incoming_block`` is the *peer's* outgoing block on this link —
+        the opposite half of the register file from :attr:`spad_block`.
+        """
+        regs = yield from self.driver.spad_read_block(
+            incoming_block, SPAD_BLOCK_REGS
+        )
+        return unpack_message(regs)
+
+    def ack(self) -> Generator:
+        """Receiver side: release the sender's slot."""
+        yield from self.driver.ring_doorbell(DOORBELL_ACK_DATA)
+
+
+class BypassMailbox(_MailboxBase):
+    """Multi-slot channel through the bypass window (in-slot headers).
+
+    Slot *i* occupies ``[i * slot_stride, (i+1) * slot_stride)`` of the
+    bypass window; each slot is a 64-byte header followed by up to
+    ``slot_payload`` bytes.  The sender cycles slots round-robin; because
+    processing is in-order and ACKs are FIFO, slot reuse is safe exactly
+    when a slot grant is obtained.
+    """
+
+    def __init__(self, env: Environment, driver: NtbDriver,
+                 slot_payload: int, slots: int, name: str):
+        if slots < 1:
+            raise ProtocolError(f"{name}: need at least one bypass slot")
+        if slot_payload < 1024:
+            raise ProtocolError(f"{name}: bypass slot payload too small")
+        super().__init__(env, driver, name, capacity=slots)
+        self.slots = slots
+        self.slot_payload = slot_payload
+        self.slot_stride = SLOT_HEADER_BYTES + slot_payload
+        self._next_slot = 0
+        # Transmissions are serialized so doorbells ring in slot order —
+        # the receiver walks slots with a cursor and must never see slot
+        # k+1 published before slot k.  Pipelining is unaffected: the win
+        # of multiple slots is transmitting while earlier slots await
+        # their ACKs, and the wire is serial anyway.
+        self._tx_lock = Resource(env, capacity=1, name=f"{name}.txlock")
+
+    @property
+    def window_bytes_needed(self) -> int:
+        return self.slot_stride * self.slots
+
+    def send(self, msg: Message, payload: PayloadSource) -> Generator:
+        """Transmit one forwarded chunk (header + payload in the slot)."""
+        if payload.nbytes > self.slot_payload:
+            raise ProtocolError(
+                f"{self.name}: payload {payload.nbytes} exceeds slot "
+                f"capacity {self.slot_payload}"
+            )
+        if msg.size != payload.nbytes:
+            raise ProtocolError(
+                f"{self.name}: header size {msg.size} != payload "
+                f"{payload.nbytes}"
+            )
+        request = self._slots.request()
+        yield request
+        self._outstanding.append(request)
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.slots
+        base = slot * self.slot_stride
+        tx = self._tx_lock.request()
+        yield tx
+        try:
+            # Payload first, header last: the header's arrival (plus the
+            # doorbell) publishes the slot, so the receiver never sees a
+            # torn message.
+            if msg.mode is Mode.DMA:
+                dma_req = yield from self.driver.dma_write_segments(
+                    BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
+                    payload.segments()
+                )
+                yield dma_req.done
+            else:
+                yield from self.driver.pio_window_write(
+                    BYPASS_WINDOW, base + SLOT_HEADER_BYTES, payload.data()
+                )
+            yield from self.driver.pio_window_write(
+                BYPASS_WINDOW, base, np.frombuffer(pack_header_bytes(msg),
+                                                   dtype=np.uint8)
+            )
+            yield from self.driver.ring_doorbell(DOORBELL_BYPASS_MSG)
+        finally:
+            self._tx_lock.release(tx)
+        self.sent_count += 1
+
+    def ack(self) -> Generator:
+        yield from self.driver.ring_doorbell(DOORBELL_ACK_BYPASS)
+
+
+def chunk_ranges(total: int, chunk: int):
+    """Yield (offset, size) pieces covering [0, total) in chunk steps."""
+    if chunk < 1:
+        raise TransferError(f"chunk must be >= 1, got {chunk}")
+    cursor = 0
+    while cursor < total:
+        take = min(chunk, total - cursor)
+        yield cursor, take
+        cursor += take

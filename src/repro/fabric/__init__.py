@@ -1,0 +1,27 @@
+"""Switchless fabric: topology math and the cluster builder."""
+
+from .cluster import Cluster, ClusterConfig
+from .heartbeat import HeartbeatMonitor, LinkState
+from .topology import (
+    ChainTopology,
+    Direction,
+    RingTopology,
+    Route,
+    RoutingPolicy,
+    Topology,
+    TopologyError,
+)
+
+__all__ = [
+    "HeartbeatMonitor",
+    "LinkState",
+    "Cluster",
+    "ClusterConfig",
+    "ChainTopology",
+    "Direction",
+    "RingTopology",
+    "Route",
+    "RoutingPolicy",
+    "Topology",
+    "TopologyError",
+]

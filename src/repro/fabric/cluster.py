@@ -1,0 +1,156 @@
+"""Cluster builder: N hosts cabled into a switchless NTB ring or chain.
+
+Reproduces the paper's prototype bring-up (§IV): each host gets two PEX8749
+NTB host adapters seated in Gen3 slots; adapters are cabled neighbor to
+neighbor to close the ring.  ``Cluster.probe()`` runs every driver's
+config-space enumeration, after which the OpenSHMEM runtime can take over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Iterator, Optional
+
+from ..host import CostModel, Host, HostConfig
+from ..ntb import NtbDriver, NtbEndpoint, NtbPortConfig, connect_endpoints
+from ..pcie import DuplexLink, LinkConfig
+from ..sim import Environment, Tracer
+from .topology import (
+    ChainTopology,
+    Direction,
+    RingTopology,
+    Topology,
+    TopologyError,
+)
+
+__all__ = ["ClusterConfig", "Cluster"]
+
+#: IRQ vector bases per adapter side (16 doorbell bits each).
+IRQ_BASE = {"left": 0, "right": 16}
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to stand up a cluster."""
+
+    n_hosts: int = 3
+    topology: str = "ring"  # "ring" | "chain"
+    host: HostConfig = field(default_factory=HostConfig)
+    cost_model: CostModel = field(default_factory=CostModel)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    ntb: NtbPortConfig = field(default_factory=NtbPortConfig)
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("ring", "chain"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.n_hosts < 2:
+            raise ValueError(f"need at least 2 hosts, got {self.n_hosts}")
+
+    def make_topology(self) -> Topology:
+        if self.topology == "ring":
+            return RingTopology(self.n_hosts)
+        return ChainTopology(self.n_hosts)
+
+
+class Cluster:
+    """The standing hardware: hosts, adapters, cables, topology.
+
+    Construction is purely structural (zero virtual time); run
+    :meth:`probe` inside the simulation to pay enumeration costs before
+    using the data path.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 env: Optional[Environment] = None):
+        self.config = config or ClusterConfig()
+        self.env = env or Environment()
+        self.tracer = Tracer(self.env, enabled=self.config.trace)
+        self.topology = self.config.make_topology()
+
+        self.hosts: list[Host] = [
+            Host(self.env, host_id, config=self.config.host,
+                 cost_model=self.config.cost_model, tracer=self.tracer)
+            for host_id in range(self.config.n_hosts)
+        ]
+        self.cables: dict[tuple[int, int], DuplexLink] = {}
+        self._drivers: dict[tuple[int, str], NtbDriver] = {}
+        self._build()
+
+    def _build(self) -> None:
+        """Seat adapters and run the cabling plan from the topology."""
+        for host_a, host_b in self.topology.links():
+            # host_a's RIGHT adapter <-> host_b's LEFT adapter.
+            ep_right = NtbEndpoint(
+                self.env, f"host{host_a}.ntb.right",
+                config=self.config.ntb, tracer=self.tracer,
+            )
+            ep_left = NtbEndpoint(
+                self.env, f"host{host_b}.ntb.left",
+                config=self.config.ntb, tracer=self.tracer,
+            )
+            drv_right = NtbDriver(self.hosts[host_a], ep_right, "right",
+                                  irq_base=IRQ_BASE["right"])
+            drv_left = NtbDriver(self.hosts[host_b], ep_left, "left",
+                                 irq_base=IRQ_BASE["left"])
+            cable = connect_endpoints(ep_right, ep_left,
+                                      link_config=self.config.link,
+                                      tracer=self.tracer)
+            self.cables[(host_a, host_b)] = cable
+            self._drivers[(host_a, "right")] = drv_right
+            self._drivers[(host_b, "left")] = drv_left
+            drv_right.enable_interrupts()
+            drv_left.enable_interrupts()
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def n_hosts(self) -> int:
+        return self.config.n_hosts
+
+    def host(self, host_id: int) -> Host:
+        self.topology.check_host(host_id)
+        return self.hosts[host_id]
+
+    def driver(self, host_id: int, direction: Direction | str) -> NtbDriver:
+        """The NTB driver on ``host_id`` facing ``direction``."""
+        side = direction.value if isinstance(direction, Direction) else direction
+        try:
+            return self._drivers[(host_id, side)]
+        except KeyError:
+            raise TopologyError(
+                f"host {host_id} has no {side!r} adapter "
+                f"(chain end or bad id)"
+            ) from None
+
+    def has_adapter(self, host_id: int, direction: Direction | str) -> bool:
+        side = direction.value if isinstance(direction, Direction) else direction
+        return (host_id, side) in self._drivers
+
+    def drivers(self) -> Iterator[NtbDriver]:
+        return iter(self._drivers.values())
+
+    def cable_between(self, host_a: int, host_b: int) -> DuplexLink:
+        key = (host_a, host_b)
+        if key in self.cables:
+            return self.cables[key]
+        key = (host_b, host_a)
+        if key in self.cables:
+            return self.cables[key]
+        raise TopologyError(f"no cable between hosts {host_a} and {host_b}")
+
+    # -- bring-up ---------------------------------------------------------------
+    def probe(self) -> Generator:
+        """Enumerate every adapter (process generator)."""
+        for driver in self._drivers.values():
+            yield from driver.probe()
+
+    def run_probe(self) -> None:
+        """Convenience: run :meth:`probe` to completion on the event loop."""
+        done = self.env.process(self.probe(), name="cluster.probe")
+        self.env.run(until=done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Cluster {self.config.topology} n={self.n_hosts} "
+            f"cables={len(self.cables)}>"
+        )

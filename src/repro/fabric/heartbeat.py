@@ -1,0 +1,131 @@
+"""Heartbeat monitoring over NTB ScratchPads.
+
+The paper's introduction notes that "for decades now, PCIe NTB has
+connected two PCI-based systems ... mainly to check connected host
+processors such as with heartbeating".  This module implements that
+classic use on the simulated fabric: each side of a link periodically
+writes an incrementing counter into a ScratchPad register and watches the
+peer's register.  A severed cable makes the peer's register read as
+all-ones (master abort) or simply stop advancing; after
+``miss_threshold`` silent periods the monitor declares the link dead.
+
+This service predates (and is independent of) the OpenSHMEM runtime — use
+it on a bare :class:`~repro.fabric.Cluster`.  It deliberately uses the
+last register of each direction's ScratchPad block, which the OpenSHMEM
+mailboxes also use, so the two must not share a link.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Optional
+
+from ..ntb import NtbDriver
+from ..sim import Environment, Signal
+
+__all__ = ["LinkState", "HeartbeatMonitor", "HEARTBEAT_MAGIC"]
+
+#: Heartbeat values carry a magic nibble so garbage (or the all-ones
+#: master-abort pattern) is never mistaken for a live counter.
+HEARTBEAT_MAGIC = 0xB0000000
+_COUNTER_MASK = 0x0FFFFFFF
+
+
+class LinkState(enum.Enum):
+    UNKNOWN = "unknown"
+    ALIVE = "alive"
+    DEAD = "dead"
+
+
+class HeartbeatMonitor:
+    """One side's heartbeat agent for one NTB link.
+
+    Both endpoints of a cable run one monitor each; writers use the
+    register index of their own direction block, watchers read the peer's.
+
+    Parameters
+    ----------
+    driver:
+        The bound NTB driver for this adapter.
+    period_us:
+        Beat interval.
+    miss_threshold:
+        Consecutive silent/invalid periods before declaring DEAD.
+    """
+
+    def __init__(self, driver: NtbDriver, period_us: float = 1000.0,
+                 miss_threshold: int = 3):
+        if period_us <= 0:
+            raise ValueError("heartbeat period must be positive")
+        if miss_threshold < 1:
+            raise ValueError("miss threshold must be >= 1")
+        self.driver = driver
+        self.env: Environment = driver.host.env
+        self.period_us = period_us
+        self.miss_threshold = miss_threshold
+        # Registers: last reg of each direction's 4-register block.
+        out_block = 0 if driver.side == "right" else 4
+        in_block = 0 if driver.side == "left" else 4
+        self._tx_reg = out_block + 3
+        self._rx_reg = in_block + 3
+        self.state = LinkState.UNKNOWN
+        self.state_changed = Signal(self.env,
+                                    name=f"{driver.name}.hb.state")
+        self.beats_sent = 0
+        self.beats_seen = 0
+        self._last_peer_value: Optional[int] = None
+        self._misses = 0
+        self._stop = False
+        self._process = None
+
+    # -- control -----------------------------------------------------------
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.env.process(
+                self._run(), name=f"{self.driver.name}.heartbeat"
+            )
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def wait_state_change(self):
+        """Event firing at the next ALIVE<->DEAD transition."""
+        return self.state_changed.wait()
+
+    # -- the agent -----------------------------------------------------------
+    def _run(self) -> Generator:
+        counter = 0
+        while not self._stop:
+            counter = (counter + 1) & _COUNTER_MASK
+            yield from self.driver.spad_write(
+                self._tx_reg, HEARTBEAT_MAGIC | counter
+            )
+            self.beats_sent += 1
+            value = yield from self.driver.spad_read(self._rx_reg)
+            self._evaluate(value)
+            yield self.env.timeout(self.period_us)
+
+    def _evaluate(self, value: int) -> None:
+        valid = (value & 0xF0000000) == HEARTBEAT_MAGIC
+        advanced = valid and value != self._last_peer_value
+        if advanced:
+            self.beats_seen += 1
+            self._last_peer_value = value
+            self._misses = 0
+            self._transition(LinkState.ALIVE)
+            return
+        self._misses += 1
+        if self._misses >= self.miss_threshold:
+            self._transition(LinkState.DEAD)
+
+    def _transition(self, new_state: LinkState) -> None:
+        if new_state is self.state:
+            return
+        self.state = new_state
+        self.state_changed.fire(new_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<HeartbeatMonitor {self.driver.name} {self.state.value} "
+            f"sent={self.beats_sent} seen={self.beats_seen}>"
+        )

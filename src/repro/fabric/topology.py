@@ -1,0 +1,154 @@
+"""Switchless topology descriptors: rings and chains of NTB-linked hosts.
+
+The paper wires hosts into a **ring**: each host carries two NTB adapters;
+host *i*'s right adapter is cabled to host *i+1*'s left adapter (mod N).
+Forwarding for non-neighbors is store-and-forward through intermediate
+hosts (§III-A).  The paper always forwards rightward (toward increasing
+host id); we additionally implement shortest-direction routing as an
+ablation (DESIGN.md §6).
+
+A **chain** is a ring with one cable removed — useful for two-host
+"independent connection" experiments and failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["Direction", "RoutingPolicy", "Route", "TopologyError",
+           "Topology", "RingTopology", "ChainTopology"]
+
+
+class TopologyError(Exception):
+    """Invalid host ids or unroutable destination."""
+
+
+class Direction(enum.Enum):
+    """Which adapter a hop leaves through."""
+
+    RIGHT = "right"  # toward increasing host id
+    LEFT = "left"    # toward decreasing host id
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.LEFT if self is Direction.RIGHT else Direction.RIGHT
+
+
+class RoutingPolicy(enum.Enum):
+    """How multi-hop destinations pick a direction."""
+
+    FIXED_RIGHT = "fixed_right"  # the paper's behaviour
+    SHORTEST = "shortest"        # ablation: min-hop direction, ties right
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved route: initial direction and total link traversals."""
+
+    direction: Direction
+    hops: int
+
+
+class Topology:
+    """Common interface for switchless topologies."""
+
+    def __init__(self, n_hosts: int):
+        if n_hosts < 2:
+            raise TopologyError(f"need at least 2 hosts, got {n_hosts}")
+        self.n_hosts = n_hosts
+
+    def check_host(self, host_id: int) -> None:
+        if not (0 <= host_id < self.n_hosts):
+            raise TopologyError(
+                f"host id {host_id} outside 0..{self.n_hosts - 1}"
+            )
+
+    def neighbor(self, host_id: int, direction: Direction) -> Optional[int]:
+        """The adjacent host in ``direction`` or None at a chain end."""
+        raise NotImplementedError
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        """All cables as (host_a, host_b) with a's right to b's left."""
+        raise NotImplementedError
+
+    def hops(self, src: int, dst: int, direction: Direction) -> Optional[int]:
+        """Link traversals from src to dst travelling only ``direction``."""
+        raise NotImplementedError
+
+    def route(self, src: int, dst: int,
+              policy: RoutingPolicy = RoutingPolicy.FIXED_RIGHT) -> Route:
+        """Pick a direction/hop-count for src -> dst under ``policy``."""
+        self.check_host(src)
+        self.check_host(dst)
+        if src == dst:
+            raise TopologyError(f"route to self (host {src})")
+        right = self.hops(src, dst, Direction.RIGHT)
+        left = self.hops(src, dst, Direction.LEFT)
+        if policy is RoutingPolicy.FIXED_RIGHT:
+            if right is None:
+                if left is None:
+                    raise TopologyError(f"no route {src} -> {dst}")
+                return Route(Direction.LEFT, left)  # chain fallback
+            return Route(Direction.RIGHT, right)
+        # SHORTEST, ties broken rightward.
+        candidates = [
+            (hops, direction)
+            for hops, direction in ((right, Direction.RIGHT), (left, Direction.LEFT))
+            if hops is not None
+        ]
+        if not candidates:
+            raise TopologyError(f"no route {src} -> {dst}")
+        candidates.sort(key=lambda item: (item[0], item[1] is Direction.LEFT))
+        hops, direction = candidates[0]
+        return Route(direction, hops)
+
+
+class RingTopology(Topology):
+    """N hosts in a cycle; every host has both neighbors."""
+
+    def neighbor(self, host_id: int, direction: Direction) -> int:
+        self.check_host(host_id)
+        if direction is Direction.RIGHT:
+            return (host_id + 1) % self.n_hosts
+        return (host_id - 1) % self.n_hosts
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        for host in range(self.n_hosts):
+            yield host, (host + 1) % self.n_hosts
+
+    def hops(self, src: int, dst: int, direction: Direction) -> int:
+        self.check_host(src)
+        self.check_host(dst)
+        if direction is Direction.RIGHT:
+            return (dst - src) % self.n_hosts
+        return (src - dst) % self.n_hosts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RingTopology n={self.n_hosts}>"
+
+
+class ChainTopology(Topology):
+    """N hosts in a line: host 0 has no left neighbor, host N-1 no right."""
+
+    def neighbor(self, host_id: int, direction: Direction) -> Optional[int]:
+        self.check_host(host_id)
+        if direction is Direction.RIGHT:
+            return host_id + 1 if host_id + 1 < self.n_hosts else None
+        return host_id - 1 if host_id > 0 else None
+
+    def links(self) -> Iterator[tuple[int, int]]:
+        for host in range(self.n_hosts - 1):
+            yield host, host + 1
+
+    def hops(self, src: int, dst: int,
+             direction: Direction) -> Optional[int]:
+        self.check_host(src)
+        self.check_host(dst)
+        if direction is Direction.RIGHT:
+            return dst - src if dst > src else None
+        return src - dst if dst < src else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ChainTopology n={self.n_hosts}>"

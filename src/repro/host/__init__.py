@@ -1,0 +1,18 @@
+"""Host node substrate: CPU costs, interrupts, threads, the Host itself."""
+
+from .cpu import CostModel, Cpu
+from .interrupts import InterruptController, InterruptError
+from .node import Host, HostConfig, PinnedBuffer, UserBuffer
+from .thread import KernelThread
+
+__all__ = [
+    "CostModel",
+    "Cpu",
+    "InterruptController",
+    "InterruptError",
+    "Host",
+    "HostConfig",
+    "PinnedBuffer",
+    "UserBuffer",
+    "KernelThread",
+]

@@ -1,0 +1,26 @@
+"""Host memory substrate: physical memory, region allocation, virtual maps."""
+
+from .address_space import (
+    AccessFault,
+    MemoryError_,
+    PhysicalMemory,
+    Region,
+    copy_between,
+)
+from .allocator import Allocation, AllocationError, RegionAllocator
+from .mmu import DEFAULT_PAGE_SIZE, Mapping, PhysSegment, VirtualAddressSpace
+
+__all__ = [
+    "AccessFault",
+    "MemoryError_",
+    "PhysicalMemory",
+    "Region",
+    "copy_between",
+    "Allocation",
+    "AllocationError",
+    "RegionAllocator",
+    "DEFAULT_PAGE_SIZE",
+    "Mapping",
+    "PhysSegment",
+    "VirtualAddressSpace",
+]

@@ -1,0 +1,175 @@
+"""First-fit region allocator with coalescing free list.
+
+Used twice in the reproduction:
+
+* carving physical DRAM into driver buffers, NTB window backing stores and
+  symmetric-heap chunks on each host;
+* the symmetric-heap *offset* allocator in :mod:`repro.core.heap` (every PE
+  must hand out identical offsets for identical allocation sequences — the
+  determinism of this allocator is what makes that invariant hold, and the
+  property tests hammer it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["AllocationError", "Allocation", "RegionAllocator"]
+
+
+class AllocationError(Exception):
+    """Out of space, double free, or bad alignment request."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A granted block ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class RegionAllocator:
+    """First-fit allocator over ``[base, base + size)`` with free coalescing.
+
+    The free list is kept sorted by address; allocation scans first-fit,
+    splitting blocks, and ``free`` merges adjacent blocks.  All sizes are
+    rounded up to ``granularity`` so fragmentation behaviour is deterministic.
+    """
+
+    def __init__(self, base: int, size: int, granularity: int = 16,
+                 name: str = "alloc"):
+        if size <= 0:
+            raise ValueError(f"allocator size must be positive, got {size}")
+        if granularity < 1 or granularity & (granularity - 1):
+            raise ValueError(
+                f"granularity must be a power of two, got {granularity}"
+            )
+        self.base = base
+        self.size = size
+        self.granularity = granularity
+        self.name = name
+        # Sorted list of free (base, size) blocks.
+        self._free: list[tuple[int, int]] = [(base, size)]
+        self._live: dict[int, int] = {}  # base -> size
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _base, size in self._free)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.size - self.free_bytes
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def largest_free_block(self) -> int:
+        return max((size for _b, size in self._free), default=0)
+
+    def iter_free(self) -> Iterator[tuple[int, int]]:
+        return iter(self._free)
+
+    # -- alloc / free -------------------------------------------------------------
+    def alloc(self, nbytes: int, alignment: int = 1) -> Allocation:
+        """Allocate ``nbytes`` (rounded to granularity) at ``alignment``.
+
+        Raises :class:`AllocationError` when no free block fits.
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"allocation size must be > 0, got {nbytes}")
+        if alignment < 1 or alignment & (alignment - 1):
+            raise AllocationError(
+                f"alignment must be a power of two, got {alignment}"
+            )
+        want = _align_up(nbytes, self.granularity)
+        for index, (blk_base, blk_size) in enumerate(self._free):
+            start = _align_up(blk_base, alignment)
+            pad = start - blk_base
+            if blk_size < pad + want:
+                continue
+            # Split: [blk_base, start) stays free, [start, start+want) is
+            # allocated, remainder stays free.
+            tail_base = start + want
+            tail_size = blk_size - pad - want
+            replacement: list[tuple[int, int]] = []
+            if pad:
+                replacement.append((blk_base, pad))
+            if tail_size:
+                replacement.append((tail_base, tail_size))
+            self._free[index:index + 1] = replacement
+            self._live[start] = want
+            return Allocation(start, want)
+        raise AllocationError(
+            f"{self.name}: cannot allocate {nbytes} bytes "
+            f"(aligned {want}, free {self.free_bytes}, "
+            f"largest block {self.largest_free_block()})"
+        )
+
+    def free(self, allocation: Allocation | int) -> None:
+        """Return a block; coalesces with adjacent free blocks."""
+        base = allocation.base if isinstance(allocation, Allocation) else allocation
+        size = self._live.pop(base, None)
+        if size is None:
+            raise AllocationError(
+                f"{self.name}: free of unallocated base {base:#x}"
+            )
+        # Insert keeping sort order, then coalesce neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < base:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (base, size))
+        self._coalesce_around(lo)
+
+    def _coalesce_around(self, index: int) -> None:
+        # Merge with next.
+        if index + 1 < len(self._free):
+            base, size = self._free[index]
+            nbase, nsize = self._free[index + 1]
+            if base + size == nbase:
+                self._free[index:index + 2] = [(base, size + nsize)]
+        # Merge with previous.
+        if index > 0:
+            pbase, psize = self._free[index - 1]
+            base, size = self._free[index]
+            if pbase + psize == base:
+                self._free[index - 1:index + 1] = [(pbase, psize + size)]
+
+    def reset(self) -> None:
+        """Drop all allocations (used on shmem_finalize)."""
+        self._free = [(self.base, self.size)]
+        self._live.clear()
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (exercised by property tests)."""
+        prev_end: Optional[int] = None
+        for blk_base, blk_size in self._free:
+            assert blk_size > 0, "empty free block"
+            assert blk_base >= self.base
+            assert blk_base + blk_size <= self.base + self.size
+            if prev_end is not None:
+                assert blk_base > prev_end, "free list unsorted/uncoalesced"
+            prev_end = blk_base + blk_size
+        total = self.free_bytes + sum(self._live.values())
+        assert total == self.size, "bytes leaked or duplicated"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RegionAllocator {self.name} used={self.used_bytes} "
+            f"free={self.free_bytes} live={len(self._live)}>"
+        )

@@ -1,0 +1,46 @@
+"""PCIe Non-Transparent Bridge device model and host-side driver."""
+
+from .bar import IncomingTranslation, OutgoingWindow, WindowError
+from .device import (
+    BYPASS_WINDOW,
+    DATA_WINDOW,
+    NtbEndpoint,
+    NtbError,
+    NtbPortConfig,
+    PEX8749_DEVICE_ID,
+    PLX_VENDOR_ID,
+    connect_endpoints,
+)
+from .dma import DmaConfig, DmaDirection, DmaEngine, DmaRequest
+from .doorbell import DOORBELL_BITS, DoorbellError, DoorbellRegister
+from .driver import DriverError, NtbDriver
+from .lut import LookupTable, LutError
+from .scratchpad import NUM_SCRATCHPADS, ScratchpadError, ScratchpadFile
+
+__all__ = [
+    "IncomingTranslation",
+    "OutgoingWindow",
+    "WindowError",
+    "BYPASS_WINDOW",
+    "DATA_WINDOW",
+    "NtbEndpoint",
+    "NtbError",
+    "NtbPortConfig",
+    "PEX8749_DEVICE_ID",
+    "PLX_VENDOR_ID",
+    "connect_endpoints",
+    "DmaConfig",
+    "DmaDirection",
+    "DmaEngine",
+    "DmaRequest",
+    "DOORBELL_BITS",
+    "DoorbellError",
+    "DoorbellRegister",
+    "DriverError",
+    "NtbDriver",
+    "LookupTable",
+    "LutError",
+    "NUM_SCRATCHPADS",
+    "ScratchpadError",
+    "ScratchpadFile",
+]

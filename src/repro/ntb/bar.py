@@ -1,0 +1,119 @@
+"""NTB BAR translation windows (paper Fig. 1).
+
+An NTB port exposes memory windows through BARs in its Type-0 header.  The
+*local* side programs, per window, a **translation address** and **limit**
+into the bridge: TLPs arriving from the peer that hit the peer's outgoing
+BAR are redirected into local physical memory at
+``translation_address + offset`` as long as ``offset < translation_size``.
+
+The model separates the two halves exactly like hardware does:
+
+* :class:`OutgoingWindow` — the local view ("writes into my BAR k go to the
+  peer"); owns no translation state, only the BAR aperture.
+* :class:`IncomingTranslation` — the registers the *local* driver programs
+  so that traffic arriving on window k lands in local DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memory import AccessFault, PhysicalMemory
+from ..pcie import BarKind, BarRegister
+
+__all__ = ["WindowError", "IncomingTranslation", "OutgoingWindow"]
+
+
+class WindowError(Exception):
+    """Bad window programming or out-of-window access."""
+
+
+@dataclass
+class IncomingTranslation:
+    """Translation registers for one incoming window.
+
+    ``translation_address``/``translation_size`` correspond to the
+    "Translation Address" / "Translation Size" registers of Fig. 1; the
+    window is disabled until :meth:`program` is called.
+    """
+
+    window_index: int
+    translation_address: int = 0
+    translation_size: int = 0
+    enabled: bool = False
+
+    def program(self, address: int, size: int) -> None:
+        if size <= 0:
+            raise WindowError(
+                f"window {self.window_index}: translation size must be > 0"
+            )
+        if address < 0:
+            raise WindowError(
+                f"window {self.window_index}: negative translation address"
+            )
+        self.translation_address = address
+        self.translation_size = size
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        self.translation_address = 0
+        self.translation_size = 0
+
+    def translate(self, offset: int, nbytes: int) -> int:
+        """Map a window offset to a local physical address (bounds-checked)."""
+        if not self.enabled:
+            raise WindowError(
+                f"window {self.window_index}: access while translation disabled"
+            )
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.translation_size:
+            raise WindowError(
+                f"window {self.window_index}: access [{offset:#x}, "
+                f"{offset + nbytes:#x}) beyond limit {self.translation_size:#x}"
+            )
+        return self.translation_address + offset
+
+
+class OutgoingWindow:
+    """The local aperture of one NTB memory window.
+
+    Writes/reads at ``offset`` within the aperture are forwarded across the
+    link and resolved by the *peer's* :class:`IncomingTranslation` with the
+    same window index.  The aperture size comes from the underlying BAR.
+    """
+
+    def __init__(self, window_index: int, bar: BarRegister):
+        if bar.kind not in (BarKind.MEM32, BarKind.MEM64):
+            raise WindowError(
+                f"window {window_index}: BAR{bar.index} is not a memory BAR"
+            )
+        self.window_index = window_index
+        self.bar = bar
+
+    @property
+    def size(self) -> int:
+        return self.bar.size
+
+    def check_access(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise WindowError(
+                f"window {self.window_index}: access [{offset:#x}, "
+                f"{offset + nbytes:#x}) outside {self.size:#x}-byte aperture"
+            )
+
+    def resolve(self, peer_translation: IncomingTranslation,
+                peer_memory: PhysicalMemory, offset: int,
+                nbytes: int) -> int:
+        """Full end-to-end address resolution used by the data path."""
+        self.check_access(offset, nbytes)
+        phys = peer_translation.translate(offset, nbytes)
+        if phys + nbytes > peer_memory.size:
+            raise AccessFault(
+                f"window {self.window_index}: translated address "
+                f"{phys:#x}+{nbytes:#x} outside peer memory"
+            )
+        return phys
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OutgoingWindow {self.window_index} size={self.size:#x}>"

@@ -1,0 +1,127 @@
+"""Doorbell registers: cross-host interrupt signalling.
+
+Per the paper (§II-A): "there are sixteen doorbell interrupts that can be
+set or cleared, as well as masked. One processor can send an interrupt
+signal to another processor through one of the doorbell registers."
+
+Model
+-----
+Each side of an NTB link owns a :class:`DoorbellRegister` holding 16 pending
+bits and a 16-bit mask.  Setting a *peer* doorbell bit (an MMIO write that
+crosses the bridge) latches the bit in the peer's pending register; if the
+bit is unmasked, the peer's interrupt sink fires (wired to the host's MSI
+controller by :mod:`repro.ntb.device`).
+
+Doorbells are level-latched: the bit stays pending until the receiving
+driver clears it, and re-setting an already-pending bit does **not** fire a
+second interrupt — exactly the coalescing semantics real NTB hardware has,
+which the service thread (Fig. 5) must handle by draining all work per wake.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Environment
+
+__all__ = ["DoorbellError", "DoorbellRegister", "DOORBELL_BITS"]
+
+DOORBELL_BITS = 16
+_FULL_MASK = (1 << DOORBELL_BITS) - 1
+
+
+class DoorbellError(Exception):
+    """Bad doorbell bit index."""
+
+
+class DoorbellRegister:
+    """Pending/mask doorbell state for one side of an NTB link.
+
+    ``edge_per_ring=True`` (the PLX "interrupt per doorbell write" MSI
+    configuration, and this runtime's default) fires the sink on *every*
+    unmasked ring; ``False`` gives classic level-latched coalescing where
+    a ring on an already-pending bit is silent — the mode that forces
+    drain-everything ISRs and which the tests exercise separately.
+    """
+
+    def __init__(self, env: Environment, name: str = "db",
+                 edge_per_ring: bool = True):
+        self.env = env
+        self.name = name
+        self.edge_per_ring = edge_per_ring
+        self._pending = 0
+        self._mask = 0
+        #: sink called as ``sink(bit)`` when an unmasked bit newly latches;
+        #: the NTB endpoint wires this to the host interrupt controller.
+        self.interrupt_sink: Optional[Callable[[int], None]] = None
+        #: lifetime counts (diagnostics)
+        self.set_count = 0
+        self.interrupt_count = 0
+
+    @staticmethod
+    def _check_bit(bit: int) -> None:
+        if not (0 <= bit < DOORBELL_BITS):
+            raise DoorbellError(f"doorbell bit {bit} outside 0..{DOORBELL_BITS - 1}")
+
+    # -- receiver-side register interface ---------------------------------------
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    def is_pending(self, bit: int) -> bool:
+        self._check_bit(bit)
+        return bool(self._pending & (1 << bit))
+
+    def clear(self, bit: int) -> None:
+        """W1C-style clear of one pending bit."""
+        self._check_bit(bit)
+        self._pending &= ~(1 << bit)
+
+    def clear_bits(self, bits: int) -> None:
+        self._pending &= ~(bits & _FULL_MASK)
+
+    def drain(self) -> int:
+        """Atomically read-and-clear all pending bits (ISR entry)."""
+        bits, self._pending = self._pending, 0
+        return bits
+
+    def set_mask(self, bit: int) -> None:
+        """Mask a bit: it may still latch but will not interrupt."""
+        self._check_bit(bit)
+        self._mask |= 1 << bit
+
+    def clear_mask(self, bit: int) -> None:
+        """Unmask a bit; if it latched while masked, fire now (level)."""
+        self._check_bit(bit)
+        was_pending = self._pending & (1 << bit)
+        self._mask &= ~(1 << bit)
+        if was_pending:
+            self._fire(bit)
+
+    # -- transmitter side (called by the peer through the bridge) ----------------
+    def latch(self, bit: int) -> None:
+        """Latch a pending bit, firing the sink per the edge mode."""
+        self._check_bit(bit)
+        flag = 1 << bit
+        already = self._pending & flag
+        self._pending |= flag
+        self.set_count += 1
+        if self._mask & flag:
+            return
+        if self.edge_per_ring or not already:
+            self._fire(bit)
+
+    def _fire(self, bit: int) -> None:
+        self.interrupt_count += 1
+        if self.interrupt_sink is not None:
+            self.interrupt_sink(bit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DoorbellRegister {self.name} pending={self._pending:#06x} "
+            f"mask={self._mask:#06x}>"
+        )

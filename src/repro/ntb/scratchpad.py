@@ -1,0 +1,94 @@
+"""ScratchPad registers: the NTB link's shared 32-bit mailbox file.
+
+Per §II-A/§III-A of the paper: each NTB port pair shares **eight 32-bit
+ScratchPad registers**; a value written on one side is directly readable on
+the other.  The OpenSHMEM runtime uses them for the host-ID / window-offset
+handshake during ``shmem_init`` and to carry per-transfer metadata
+(SrcId, DestId, symmetric index, offset, size) alongside doorbell interrupts.
+
+The register file itself is passive state shared by the two endpoints of a
+cable; access *timing* (a PIO read/write across PCIe) is charged by the
+driver layer.  A change :class:`~repro.sim.Signal` lets polling-free models
+wait for updates in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Environment, Signal
+
+__all__ = ["ScratchpadError", "ScratchpadFile"]
+
+NUM_SCRATCHPADS = 8
+
+
+class ScratchpadError(Exception):
+    """Bad scratchpad index or value."""
+
+
+class ScratchpadFile:
+    """The shared 8 x 32-bit register file of one NTB link.
+
+    Both connected endpoints hold a reference to the *same* instance —
+    that is the non-transparent sharing the hardware provides.
+    """
+
+    def __init__(self, env: Environment, name: str = "spad",
+                 count: int = NUM_SCRATCHPADS):
+        if count < 1:
+            raise ScratchpadError(f"need at least one register, got {count}")
+        self.env = env
+        self.name = name
+        self.count = count
+        self._regs = [0] * count
+        self.changed = Signal(env, name=f"{name}.changed")
+        #: lifetime write count (diagnostics)
+        self.write_count = 0
+
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self.count):
+            raise ScratchpadError(
+                f"{self.name}: register index {index} outside 0..{self.count - 1}"
+            )
+
+    def read(self, index: int) -> int:
+        self._check_index(index)
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        self._check_index(index)
+        if not isinstance(value, int):
+            raise ScratchpadError(f"{self.name}: non-integer value {value!r}")
+        self._regs[index] = value & 0xFFFFFFFF
+        self.write_count += 1
+        self.changed.fire((index, self._regs[index]))
+
+    def read_all(self) -> tuple[int, ...]:
+        return tuple(self._regs)
+
+    def write_block(self, start: int, values: list[int]) -> None:
+        """Write consecutive registers (transfer-info record)."""
+        if start < 0 or start + len(values) > self.count:
+            raise ScratchpadError(
+                f"{self.name}: block [{start}, {start + len(values)}) "
+                f"outside register file"
+            )
+        for offset, value in enumerate(values):
+            self.write(start + offset, value)
+
+    def read_block(self, start: int, count: int) -> tuple[int, ...]:
+        if start < 0 or start + count > self.count:
+            raise ScratchpadError(
+                f"{self.name}: block [{start}, {start + count}) "
+                f"outside register file"
+            )
+        return tuple(self._regs[start:start + count])
+
+    def clear(self) -> None:
+        for index in range(self.count):
+            self._regs[index] = 0
+        self.changed.fire(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ScratchpadFile {self.name} regs={self._regs}>"

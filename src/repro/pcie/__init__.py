@@ -1,0 +1,37 @@
+"""PCIe substrate: TLP framing, link timing, config space, flow control."""
+
+from .config import (
+    BarKind,
+    BarRegister,
+    ConfigSpace,
+    Type0Header,
+)
+from .flow_control import CREDIT_UNIT_BYTES, CreditConfig, CreditPool
+from .link import DuplexLink, Link, LinkConfig
+from .tlp import (
+    Tlp,
+    TlpOverhead,
+    TlpType,
+    segment_payload,
+    tlp_wire_bytes,
+    transfer_wire_bytes,
+)
+
+__all__ = [
+    "BarKind",
+    "BarRegister",
+    "ConfigSpace",
+    "Type0Header",
+    "CREDIT_UNIT_BYTES",
+    "CreditConfig",
+    "CreditPool",
+    "DuplexLink",
+    "Link",
+    "LinkConfig",
+    "Tlp",
+    "TlpOverhead",
+    "TlpType",
+    "segment_payload",
+    "tlp_wire_bytes",
+    "transfer_wire_bytes",
+]

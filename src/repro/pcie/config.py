@@ -1,0 +1,233 @@
+"""PCIe configuration space and Type-0 header with BAR registers.
+
+The NTB endpoint exposes a Type-0 configuration header (§III-A: "each NTB
+port has six BARs in its PCIe Type 0 header").  The model implements the
+standard BAR sizing protocol — write all-ones, read back the size mask —
+because the simulated driver in :mod:`repro.ntb.driver` performs a real
+enumeration pass during ``shmem_init``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BarKind", "BarRegister", "Type0Header", "ConfigSpace"]
+
+CONFIG_SPACE_SIZE = 4096  # PCIe extended config space
+
+# Standard register offsets (Type 0).
+REG_VENDOR_ID = 0x00
+REG_DEVICE_ID = 0x02
+REG_COMMAND = 0x04
+REG_STATUS = 0x06
+REG_CLASS_CODE = 0x08
+REG_BAR0 = 0x10
+REG_SUBSYS_VENDOR = 0x2C
+REG_INT_LINE = 0x3C
+
+COMMAND_MEMORY_ENABLE = 0x0002
+COMMAND_BUS_MASTER = 0x0004
+
+
+class BarKind(enum.Enum):
+    """BAR decode type."""
+
+    MEM32 = "mem32"
+    MEM64 = "mem64"
+    IO = "io"
+    UNUSED = "unused"
+
+
+@dataclass
+class BarRegister:
+    """One Base Address Register.
+
+    ``size`` must be a power of two (hardware decodes via address masking).
+    64-bit BARs consume two register slots; the model keeps the full value
+    in one object and exposes high/low halves for config accesses.
+    """
+
+    index: int
+    kind: BarKind
+    size: int = 0
+    address: int = 0
+    prefetchable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is not BarKind.UNUSED:
+            if self.size < 16 or self.size & (self.size - 1):
+                raise ValueError(
+                    f"BAR{self.index} size must be a power of two >= 16, "
+                    f"got {self.size}"
+                )
+
+    @property
+    def slots(self) -> int:
+        return 2 if self.kind is BarKind.MEM64 else 1
+
+    @property
+    def size_mask(self) -> int:
+        """Value read back after writing all-ones (sizing protocol)."""
+        if self.kind is BarKind.UNUSED:
+            return 0
+        return (~(self.size - 1)) & (
+            0xFFFFFFFFFFFFFFFF if self.kind is BarKind.MEM64 else 0xFFFFFFFF
+        )
+
+    @property
+    def flag_bits(self) -> int:
+        if self.kind is BarKind.IO:
+            return 0x1
+        bits = 0x0
+        if self.kind is BarKind.MEM64:
+            bits |= 0x4
+        if self.prefetchable:
+            bits |= 0x8
+        return bits
+
+    def contains(self, addr: int, nbytes: int = 1) -> bool:
+        if self.kind is BarKind.UNUSED or self.size == 0:
+            return False
+        return self.address <= addr and addr + nbytes <= self.address + self.size
+
+
+class Type0Header:
+    """Type-0 (endpoint) configuration header with six BAR slots."""
+
+    NUM_BAR_SLOTS = 6
+
+    def __init__(self, vendor_id: int, device_id: int,
+                 bars: Optional[list[BarRegister]] = None,
+                 class_code: int = 0x068000):  # bridge / other
+        self.vendor_id = vendor_id & 0xFFFF
+        self.device_id = device_id & 0xFFFF
+        self.class_code = class_code & 0xFFFFFF
+        self.command = 0
+        self.bars: list[BarRegister] = []
+        occupied: set[int] = set()
+        for bar in bars or []:
+            wanted = set(range(bar.index, bar.index + bar.slots))
+            if max(wanted, default=0) >= self.NUM_BAR_SLOTS:
+                raise ValueError(
+                    f"BAR{bar.index} ({bar.kind.value}) overruns the six "
+                    "header slots"
+                )
+            if wanted & occupied:
+                raise ValueError(f"BAR{bar.index} overlaps another BAR")
+            occupied |= wanted
+            self.bars.append(bar)
+
+    @property
+    def memory_enabled(self) -> bool:
+        return bool(self.command & COMMAND_MEMORY_ENABLE)
+
+    @property
+    def bus_master_enabled(self) -> bool:
+        return bool(self.command & COMMAND_BUS_MASTER)
+
+    def bar_by_index(self, index: int) -> BarRegister:
+        for bar in self.bars:
+            if bar.index == index:
+                return bar
+        raise KeyError(f"no BAR with index {index}")
+
+    def decode(self, addr: int, nbytes: int = 1) -> Optional[BarRegister]:
+        """Which BAR claims this memory address (None if unclaimed)."""
+        if not self.memory_enabled:
+            return None
+        for bar in self.bars:
+            if bar.contains(addr, nbytes):
+                return bar
+        return None
+
+
+class ConfigSpace:
+    """Register-level access to a device's configuration space.
+
+    Implements just enough of the protocol for the simulated driver:
+    vendor/device probe, command register, BAR sizing and assignment.
+    """
+
+    def __init__(self, header: Type0Header):
+        self.header = header
+        # BAR slot -> (bar, is_high_half)
+        self._slot_map: dict[int, tuple[BarRegister, bool]] = {}
+        self._sizing: set[int] = set()  # slots currently latched for sizing
+        for bar in header.bars:
+            self._slot_map[bar.index] = (bar, False)
+            if bar.kind is BarKind.MEM64:
+                self._slot_map[bar.index + 1] = (bar, True)
+
+    # -- 32-bit register interface ------------------------------------------------
+    def read32(self, offset: int) -> int:
+        if offset == REG_VENDOR_ID:
+            return self.header.vendor_id | (self.header.device_id << 16)
+        if offset == REG_COMMAND:
+            return self.header.command & 0xFFFF
+        if offset == REG_CLASS_CODE:
+            return (self.header.class_code << 8)
+        if REG_BAR0 <= offset < REG_BAR0 + 4 * Type0Header.NUM_BAR_SLOTS:
+            slot = (offset - REG_BAR0) // 4
+            return self._read_bar_slot(slot)
+        return 0
+
+    def write32(self, offset: int, value: int) -> None:
+        value &= 0xFFFFFFFF
+        if offset == REG_COMMAND:
+            self.header.command = value & 0xFFFF
+            return
+        if REG_BAR0 <= offset < REG_BAR0 + 4 * Type0Header.NUM_BAR_SLOTS:
+            slot = (offset - REG_BAR0) // 4
+            self._write_bar_slot(slot, value)
+
+    # -- BAR slot plumbing ------------------------------------------------------
+    def _read_bar_slot(self, slot: int) -> int:
+        entry = self._slot_map.get(slot)
+        if entry is None:
+            return 0
+        bar, high = entry
+        if slot in self._sizing:
+            mask = bar.size_mask
+            if high:
+                return (mask >> 32) & 0xFFFFFFFF
+            low = mask & 0xFFFFFFFF
+            return low | bar.flag_bits
+        if high:
+            return (bar.address >> 32) & 0xFFFFFFFF
+        return (bar.address & 0xFFFFFFF0) | bar.flag_bits
+
+    def _write_bar_slot(self, slot: int, value: int) -> None:
+        entry = self._slot_map.get(slot)
+        if entry is None:
+            return
+        bar, high = entry
+        if value == 0xFFFFFFFF:
+            self._sizing.add(slot)
+            return
+        self._sizing.discard(slot)
+        if high:
+            bar.address = (bar.address & 0xFFFFFFFF) | (value << 32)
+        else:
+            bar.address = (bar.address & ~0xFFFFFFFF) | (value & 0xFFFFFFF0)
+
+    def probe_bar_size(self, bar_index: int) -> int:
+        """Driver-side helper running the full sizing protocol."""
+        bar = self.header.bar_by_index(bar_index)
+        slot = None
+        for s, (b, high) in self._slot_map.items():
+            if b is bar and not high:
+                slot = s
+                break
+        if slot is None:  # pragma: no cover - defensive
+            raise KeyError(f"BAR{bar_index} not wired to a slot")
+        saved = self.read32(REG_BAR0 + 4 * slot)
+        self.write32(REG_BAR0 + 4 * slot, 0xFFFFFFFF)
+        raw = self.read32(REG_BAR0 + 4 * slot)
+        self.write32(REG_BAR0 + 4 * slot, saved)
+        mask = raw & 0xFFFFFFF0
+        if mask == 0:
+            return 0
+        low_size = (~mask & 0xFFFFFFFF) + 1
+        return low_size if bar.kind is not BarKind.MEM64 else bar.size

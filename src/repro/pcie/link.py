@@ -1,0 +1,217 @@
+"""PCIe link timing model: generations, lanes, encoding, serialization.
+
+A :class:`Link` is one *direction* of a point-to-point PCIe connection.  It
+is modelled as a shared serial resource: concurrent transfers queue and each
+holds the link for its serialization time.  This is what produces the Fig. 8
+"ring simultaneous slightly below independent" effect once two adapters on
+one host contend for the root complex (see :mod:`repro.host.node`).
+
+Rates (per PCIe spec, §II-A of the paper):
+
+========  ========  ==========  ==================
+ Gen       GT/s      encoding    per-lane payload
+========  ========  ==========  ==================
+ 1         2.5       8b/10b      250 MB/s
+ 2         5.0       8b/10b      500 MB/s
+ 3         8.0       128b/130b   ~984.6 MB/s
+========  ========  ==========  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..sim import Environment, Resource, Tracer
+from .flow_control import CreditConfig, CreditPool
+from .tlp import TlpOverhead, tlp_wire_bytes
+
+__all__ = ["LinkConfig", "Link", "DuplexLink"]
+
+_GEN_RATES_GTPS = {1: 2.5, 2: 5.0, 3: 8.0}
+_GEN_ENCODING = {1: 8.0 / 10.0, 2: 8.0 / 10.0, 3: 128.0 / 130.0}
+_VALID_LANES = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Static electrical/protocol parameters of one PCIe link.
+
+    Attributes
+    ----------
+    generation:
+        PCIe generation (1–3; the paper's adapters are Gen3).
+    lanes:
+        Lane count (x1..x16; the paper's fabric cable carries x8).
+    max_payload:
+        Max TLP payload (bytes); PEX87xx parts default to 256.
+    propagation_delay_us:
+        Cable flight time plus bridge forwarding latency per TLP batch.
+    """
+
+    generation: int = 3
+    lanes: int = 8
+    max_payload: int = 256
+    propagation_delay_us: float = 0.5
+    overhead: TlpOverhead = TlpOverhead()
+    #: Optional receiver credit pool (posted path).  ``None`` disables
+    #: flow-control modelling; with a pool, each transfer holds one header
+    #: credit + data credits for its payload until the receiver drains
+    #: (one drain latency after delivery) — visible only when the
+    #: receiver's buffering is smaller than the bandwidth-delay product.
+    flow_control: Optional[CreditConfig] = None
+    #: Receiver drain latency applied when flow_control is enabled.
+    receiver_drain_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.generation not in _GEN_RATES_GTPS:
+            raise ValueError(f"unsupported PCIe generation {self.generation}")
+        if self.lanes not in _VALID_LANES:
+            raise ValueError(f"invalid lane count {self.lanes}")
+        if self.max_payload < 64 or self.max_payload & (self.max_payload - 1):
+            raise ValueError(
+                f"max_payload must be a power of two >= 64, got {self.max_payload}"
+            )
+        if self.propagation_delay_us < 0:
+            raise ValueError("negative propagation delay")
+
+    @property
+    def raw_rate_mbps(self) -> float:
+        """Raw post-encoding link rate in MB/s (== bytes/µs)."""
+        gtps = _GEN_RATES_GTPS[self.generation]
+        return gtps * 1000.0 / 8.0 * _GEN_ENCODING[self.generation] * self.lanes
+
+    @property
+    def effective_rate_mbps(self) -> float:
+        """Payload rate accounting for TLP overhead at max_payload."""
+        eff = self.max_payload / (self.max_payload + self.overhead.total)
+        return self.raw_rate_mbps * eff
+
+    def serialization_time_us(self, nbytes: int) -> float:
+        """Time to serialize an ``nbytes`` payload (incl. TLP overhead)."""
+        wire = tlp_wire_bytes(nbytes, self.max_payload, self.overhead)
+        return wire / self.raw_rate_mbps
+
+    def describe(self) -> str:
+        return (
+            f"PCIe Gen{self.generation} x{self.lanes} "
+            f"({self.raw_rate_mbps:.0f} MB/s raw, "
+            f"{self.effective_rate_mbps:.0f} MB/s effective, MPS "
+            f"{self.max_payload}B)"
+        )
+
+
+class Link:
+    """One direction of a PCIe connection as a serializing sim resource.
+
+    ``transfer`` is a process generator: it acquires the link, charges
+    serialization time for the payload, releases, then waits propagation
+    delay.  Multiple in-flight transfers therefore pipeline at the link but
+    never exceed wire rate.
+    """
+
+    def __init__(self, env: Environment, config: LinkConfig,
+                 name: str = "link", tracer: Optional[Tracer] = None):
+        self.env = env
+        self.config = config
+        self.name = name
+        self.tracer = tracer
+        self._wire = Resource(env, capacity=1, name=f"{name}.wire")
+        self.credits: Optional[CreditPool] = (
+            CreditPool(env, config.flow_control, name=f"{name}.fc")
+            if config.flow_control is not None else None
+        )
+        #: Severed-cable flag: a down link silently drops posted traffic
+        #: (PCIe master-abort semantics); see :meth:`sever`.
+        self.down = False
+        #: lifetime payload bytes carried (utilization accounting)
+        self.payload_bytes = 0
+        self.busy_time_us = 0.0
+        self.dropped_bytes = 0
+
+    def transfer(self, nbytes: int, propagate: bool = True) -> Generator:
+        """Move ``nbytes`` across the link (process generator).
+
+        ``propagate=False`` skips the per-call propagation delay; pipelined
+        callers (the DMA chunk pump) pay propagation once per stream instead
+        of once per chunk.  Returns (via StopIteration value) the µs spent
+        serializing.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if self.down:
+            # Posted traffic into a severed cable is silently dropped
+            # after local serialization (the TX side can't tell).
+            yield self.env.timeout(self.config.serialization_time_us(nbytes))
+            self.dropped_bytes += nbytes
+            return 0.0
+        if self.credits is not None:
+            yield from self.credits.acquire(1, nbytes)
+        req = self._wire.request()
+        yield req
+        try:
+            ser = self.config.serialization_time_us(nbytes)
+            yield self.env.timeout(ser)
+            self.payload_bytes += nbytes
+            self.busy_time_us += ser
+        finally:
+            self._wire.release(req)
+        if self.credits is not None:
+            # Credits return once the receiver drains its buffer.
+            drain = self.env.timeout(self.config.receiver_drain_us)
+            drain.callbacks.append(
+                lambda _evt, n=nbytes: self.credits.release(1, n)
+            )
+        if propagate and self.config.propagation_delay_us:
+            yield self.env.timeout(self.config.propagation_delay_us)
+        if self.tracer is not None:
+            self.tracer.count(f"{self.name}.transfers", nbytes=nbytes)
+        return ser
+
+    def utilization(self, elapsed_us: Optional[float] = None) -> float:
+        elapsed = self.env.now if elapsed_us is None else elapsed_us
+        return self.busy_time_us / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def queue_length(self) -> int:
+        return self._wire.queue_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.config.describe()}>"
+
+
+class DuplexLink:
+    """A full-duplex connection: independent TX/RX :class:`Link` per side.
+
+    ``a_to_b`` carries traffic from endpoint A to endpoint B and vice versa.
+    PCIe is full duplex, so the two directions never contend with each
+    other — only with other traffic in the *same* direction.
+    """
+
+    def __init__(self, env: Environment, config: LinkConfig,
+                 name: str = "cable", tracer: Optional[Tracer] = None):
+        self.env = env
+        self.config = config
+        self.name = name
+        self.a_to_b = Link(env, config, name=f"{name}.a2b", tracer=tracer)
+        self.b_to_a = Link(env, config, name=f"{name}.b2a", tracer=tracer)
+
+    def direction(self, from_a: bool) -> Link:
+        return self.a_to_b if from_a else self.b_to_a
+
+    def sever(self) -> None:
+        """Unplug the cable: both directions drop traffic from now on."""
+        self.a_to_b.down = True
+        self.b_to_a.down = True
+
+    def restore(self) -> None:
+        """Re-plug the cable."""
+        self.a_to_b.down = False
+        self.b_to_a.down = False
+
+    @property
+    def is_down(self) -> bool:
+        return self.a_to_b.down and self.b_to_a.down
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DuplexLink {self.name} {self.config.describe()}>"

@@ -1,0 +1,143 @@
+"""Transaction Layer Packet (TLP) model.
+
+The PCIe standard defines four transaction families (§III-A of the paper):
+memory read/write, I/O read/write, configuration read/write and messages.
+The NTB translates memory and I/O transactions through its BARs; the others
+terminate at the bridge.
+
+This module models the *framing economics* of TLPs — header/CRC overhead and
+max-payload segmentation — because those are what shape the throughput-vs-
+request-size curves in Fig. 8.  Payload bytes themselves are moved by the
+memory substrate; a TLP here carries addresses and sizes, not data arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterator, Optional
+
+__all__ = [
+    "TlpType",
+    "Tlp",
+    "TlpOverhead",
+    "segment_payload",
+    "tlp_wire_bytes",
+    "transfer_wire_bytes",
+]
+
+_TLP_SEQ = count()
+
+
+class TlpType(enum.Enum):
+    """PCIe transaction families relevant to the NTB data path."""
+
+    MEM_READ = "MRd"
+    MEM_WRITE = "MWr"
+    IO_READ = "IORd"
+    IO_WRITE = "IOWr"
+    CONFIG_READ = "CfgRd"
+    CONFIG_WRITE = "CfgWr"
+    COMPLETION = "CplD"
+    MESSAGE = "Msg"
+
+    @property
+    def is_posted(self) -> bool:
+        """Posted transactions need no completion (writes, messages)."""
+        return self in (TlpType.MEM_WRITE, TlpType.IO_WRITE, TlpType.MESSAGE)
+
+    @property
+    def is_address_routed(self) -> bool:
+        """Only address-routed TLPs pass through NTB BAR translation."""
+        return self in (
+            TlpType.MEM_READ,
+            TlpType.MEM_WRITE,
+            TlpType.IO_READ,
+            TlpType.IO_WRITE,
+        )
+
+
+@dataclass(frozen=True)
+class TlpOverhead:
+    """Per-TLP byte overhead at the physical layer.
+
+    Defaults follow PCIe Gen3: 2B start framing + 2B sequence + up to 16B
+    header (64-bit addressing, 4 DW) + 4B LCRC + 2B end framing ≈ 26B; we
+    use the common 24B engineering figure (3 DW header for 32-bit-routable
+    addresses inside the NTB window).
+    """
+
+    header_bytes: int = 12
+    digest_bytes: int = 4
+    framing_bytes: int = 8
+
+    @property
+    def total(self) -> int:
+        return self.header_bytes + self.digest_bytes + self.framing_bytes
+
+
+@dataclass(frozen=True)
+class Tlp:
+    """One transaction-layer packet (metadata only)."""
+
+    kind: TlpType
+    address: int
+    length: int
+    requester_id: int = 0
+    tag: int = 0
+    seq: int = field(default_factory=lambda: next(_TLP_SEQ))
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"negative TLP length {self.length}")
+        if self.kind in (TlpType.MEM_WRITE, TlpType.COMPLETION) and self.length == 0:
+            raise ValueError(f"{self.kind.value} TLP must carry data")
+
+    def wire_bytes(self, overhead: TlpOverhead = TlpOverhead()) -> int:
+        payload = self.length if self.kind in (
+            TlpType.MEM_WRITE, TlpType.IO_WRITE, TlpType.COMPLETION,
+            TlpType.CONFIG_WRITE,
+        ) else 0
+        return payload + overhead.total
+
+
+def segment_payload(address: int, nbytes: int, max_payload: int,
+                    kind: TlpType = TlpType.MEM_WRITE,
+                    requester_id: int = 0) -> Iterator[Tlp]:
+    """Split a transfer into TLPs of at most ``max_payload`` bytes.
+
+    Segmentation additionally breaks at ``max_payload``-aligned address
+    boundaries, matching how real root complexes cut transfers (this keeps
+    TLP counts deterministic for the flow-control model).
+    """
+    if max_payload < 1:
+        raise ValueError(f"max_payload must be >= 1, got {max_payload}")
+    cursor, remaining, tag = address, nbytes, 0
+    while remaining > 0:
+        boundary = (cursor // max_payload + 1) * max_payload
+        take = min(remaining, boundary - cursor)
+        yield Tlp(kind, cursor, take, requester_id=requester_id, tag=tag)
+        tag = (tag + 1) & 0xFF
+        cursor += take
+        remaining -= take
+
+
+def tlp_wire_bytes(nbytes: int, max_payload: int,
+                   overhead: Optional[TlpOverhead] = None) -> int:
+    """Wire bytes for an aligned ``nbytes`` write split at ``max_payload``."""
+    ovh = overhead or TlpOverhead()
+    if nbytes == 0:
+        return 0
+    n_tlps = (nbytes + max_payload - 1) // max_payload
+    return nbytes + n_tlps * ovh.total
+
+
+def transfer_wire_bytes(address: int, nbytes: int, max_payload: int,
+                        overhead: Optional[TlpOverhead] = None) -> int:
+    """Wire bytes including misalignment-induced extra TLPs."""
+    ovh = overhead or TlpOverhead()
+    total = 0
+    for tlp in segment_payload(address, nbytes, max_payload):
+        total += tlp.wire_bytes(ovh)
+    return total

@@ -1,0 +1,64 @@
+"""Deterministic discrete-event simulation kernel (virtual microseconds).
+
+Public surface::
+
+    from repro.sim import Environment, Event, Process, Timeout
+    from repro.sim import AllOf, AnyOf, Signal, Gate, CountdownLatch
+    from repro.sim import Resource, Store, Channel
+    from repro.sim import Tracer, TraceRecord
+    from repro.sim import Interrupt, SimulationError
+
+See :mod:`repro.sim.core` for the execution model.
+"""
+
+from .core import (
+    NORMAL,
+    PENDING,
+    URGENT,
+    Environment,
+    Event,
+    Process,
+    ProcessGenerator,
+    Timeout,
+)
+from .errors import (
+    EventLifecycleError,
+    Interrupt,
+    SchedulingError,
+    SimulationError,
+    StopProcess,
+)
+from .primitives import AllOf, AnyOf, Condition, CountdownLatch, Gate, Signal
+from .resources import BandwidthServer, Channel, Request, Resource, Store
+from .trace import Counter, IntervalStats, TraceRecord, Tracer
+
+__all__ = [
+    "NORMAL",
+    "PENDING",
+    "URGENT",
+    "Environment",
+    "Event",
+    "Process",
+    "ProcessGenerator",
+    "Timeout",
+    "EventLifecycleError",
+    "Interrupt",
+    "SchedulingError",
+    "SimulationError",
+    "StopProcess",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "CountdownLatch",
+    "Gate",
+    "Signal",
+    "BandwidthServer",
+    "Channel",
+    "Request",
+    "Resource",
+    "Store",
+    "Counter",
+    "IntervalStats",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,447 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate on which every hardware model in the reproduction runs:
+PCIe link serialization, NTB DMA engines, MSI interrupt delivery, host kernel
+threads and the OpenSHMEM service loop are all :class:`Process` instances
+driven by a single :class:`Environment`.
+
+Design notes
+------------
+* **Virtual time** is a ``float`` in *microseconds*.  All latency numbers in
+  the paper's figures are reported in µs, so using µs as the native unit keeps
+  the bench harness free of conversions.
+* **Determinism.**  The event heap is keyed by ``(time, priority, sequence)``
+  where ``sequence`` is a monotonically increasing integer.  Two events
+  scheduled for the same instant therefore fire in schedule order, making every
+  simulation run bit-reproducible — a property the test-suite asserts.
+* **Processes are generator coroutines** (SimPy style).  A process yields
+  :class:`Event` objects; the kernel resumes it with the event's value (or
+  throws the event's exception) once the event triggers.  ``yield from`` is
+  used to compose blocking sub-operations, which is how the OpenSHMEM API
+  exposes "blocking" calls to user PE programs.
+
+The kernel is intentionally small and dependency-free; higher-level
+synchronization primitives live in :mod:`repro.sim.primitives` and
+:mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import (
+    EventLifecycleError,
+    Interrupt,
+    SchedulingError,
+    SimulationError,
+    StopProcess,
+)
+
+__all__ = [
+    "PENDING",
+    "NORMAL",
+    "URGENT",
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "ProcessGenerator",
+]
+
+#: Sentinel stored in :attr:`Event._value` while the event has not triggered.
+PENDING = object()
+
+#: Default scheduling priority.
+NORMAL = 1
+
+#: Priority for kernel-internal wakeups that must precede same-time events
+#: (e.g. process initialization).
+URGENT = 0
+
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """A condition that may *trigger* (succeed or fail) at some instant.
+
+    Events carry an optional value (delivered to waiting processes) or an
+    exception (thrown into waiting processes).  Callbacks appended to
+    :attr:`callbacks` run exactly once when the event is processed by the
+    event loop; afterwards ``callbacks`` is ``None`` and appending raises.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has a value/exception (it may not yet have
+        been *processed* by the loop)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise EventLifecycleError("event has not triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is PENDING:
+            raise EventLifecycleError("value of an untriggered event")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise EventLifecycleError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        If no process ever waits on the failed event, the exception is
+        re-raised by :meth:`Environment.step` so model bugs cannot vanish
+        silently; call :meth:`defuse` to opt out for fire-and-forget events.
+        """
+        if self.triggered:
+            raise EventLifecycleError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another (triggered) event's outcome onto this one.
+
+        Useful as a callback: ``other.callbacks.append(this.trigger)``.
+        """
+        if self.triggered:
+            raise EventLifecycleError(f"{self!r} already triggered")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def defuse(self) -> "Event":
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` µs after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Kernel-internal: first resumption of a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A ``Process`` is itself an :class:`Event` that triggers when the generator
+    returns (value = the generator's return value) or raises (failure).  This
+    makes ``yield child_process`` the natural join operation.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {generator!r}; did you "
+                "call the process function?"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+        self.name = name or getattr(generator, "__name__", "process")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name} at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits for (``None`` when
+        running or finished)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The process stops waiting on its current target (the target event
+        stays valid and may be re-yielded).  Interrupting a dead process is
+        an error; interrupting a process that is currently being resumed is
+        deferred by one kernel step.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        if self._target is None:
+            raise SimulationError(f"{self!r} cannot interrupt itself")
+        interrupt = Event(self.env)
+        interrupt._ok = False
+        interrupt._value = Interrupt(cause)
+        interrupt._defused = True
+        interrupt.callbacks = [self._resume]
+        self.env.schedule(interrupt, priority=URGENT)
+
+    # -- kernel internals ----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        env._active_process = self
+        # An interrupt may arrive after the process already terminated or
+        # moved on; deliver only if still waiting.
+        if not self.is_alive:
+            env._active_process = None
+            return
+        # Detach from the previous target if the wakeup is an interrupt.
+        if event is not self._target and self._target is not None:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_target = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._terminate_ok(stop.value)
+                break
+            except StopProcess as stop:
+                self._generator.close()
+                self._terminate_ok(stop.value)
+                break
+            except BaseException as exc:  # noqa: BLE001 - propagate via event
+                self._terminate_fail(exc)
+                break
+
+            if not isinstance(next_target, Event):
+                exc2 = SimulationError(
+                    f"{self!r} yielded a non-event: {next_target!r}"
+                )
+                # Feed the error back into the generator so the model sees a
+                # clear traceback at the offending yield.
+                event = Event(env)
+                event._ok = False
+                event._value = exc2
+                event._defused = True
+                continue
+            if next_target.env is not env:
+                raise SimulationError(
+                    f"{self!r} yielded an event from another environment"
+                )
+            if next_target.callbacks is None:
+                # Already processed: resume immediately with its outcome.
+                event = next_target
+                continue
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            break
+
+        env._active_process = None
+
+    def _terminate_ok(self, value: Any) -> None:
+        self._target = None
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+
+    def _terminate_fail(self, exc: BaseException) -> None:
+        self._target = None
+        self._ok = False
+        self._value = exc
+        self.env.schedule(self)
+
+
+class Environment:
+    """The simulation event loop.
+
+    The environment owns virtual time, the pending-event heap and the
+    currently active process.  It is deliberately single-threaded: all
+    concurrency in the models is cooperative.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now: float = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+        #: Hooks called as ``hook(env, event)`` just before callbacks run.
+        self.step_hooks: list[Callable[["Environment", Event], None]] = []
+
+    # -- time ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event creation ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` µs from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a new process executing ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> "Event":
+        from .primitives import AnyOf  # local import avoids cycle
+
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> "Event":
+        from .primitives import AllOf  # local import avoids cycle
+
+        return AllOf(self, list(events))
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Queue a triggered event for processing ``delay`` µs from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing virtual time to it."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        for hook in self.step_hooks:
+            hook(self, event)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            raise EventLifecycleError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the loop.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain (quiescence);
+        * a number — run until virtual time reaches it;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (raising its exception on failure).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            done = {"hit": False}
+
+            def _mark(_event: Event) -> None:
+                done["hit"] = True
+
+            if sentinel.callbacks is None:
+                if not sentinel._ok:
+                    raise sentinel._value
+                return sentinel._value
+            sentinel.callbacks.append(_mark)
+            while not done["hit"]:
+                if not self._queue:
+                    raise SimulationError(
+                        "deadlock: event loop drained before the awaited "
+                        f"event triggered ({sentinel!r})"
+                    )
+                self.step()
+            if not sentinel._ok:
+                sentinel._defused = True
+                raise sentinel._value
+            return sentinel._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SchedulingError(
+                f"cannot run until {horizon} µs: already at {self._now} µs"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

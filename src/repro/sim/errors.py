@@ -1,0 +1,66 @@
+"""Exception types raised by the discrete-event simulation kernel.
+
+The kernel distinguishes three failure families:
+
+* :class:`SimulationError` — misuse of the kernel itself (scheduling into the
+  past, re-triggering an event, ...).  These are programming errors in the
+  model and are never caught by the kernel.
+* :class:`Interrupt` — delivered *into* a process by :meth:`Process.interrupt`,
+  modelling asynchronous cancellation (e.g. a watchdog firing while a driver
+  thread sleeps on a doorbell).
+* :class:`StopProcess` — internal control-flow exception used by
+  :func:`repro.sim.core.Process` to implement ``Process.exit()``-style early
+  return from deeply nested generators.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "SchedulingError",
+    "EventLifecycleError",
+    "Interrupt",
+    "StopProcess",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled incorrectly (negative delay, dead env, ...)."""
+
+
+class EventLifecycleError(SimulationError):
+    """An event was succeeded/failed more than once, or its value was read
+    before it triggered."""
+
+
+class Interrupt(Exception):
+    """Asynchronously delivered into a :class:`~repro.sim.core.Process`.
+
+    The interrupted process receives this exception at its current yield
+    point.  ``cause`` carries an arbitrary payload describing why the
+    interrupt happened (for the NTB models this is typically an IRQ vector
+    or a cancellation reason).
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The payload passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class StopProcess(Exception):
+    """Raised internally to terminate a process early with a return value."""
+
+    def __init__(self, value: object = None):
+        super().__init__(value)
+
+    @property
+    def value(self) -> object:
+        return self.args[0]

@@ -1,0 +1,182 @@
+"""Instrumentation: trace records, counters and time-series probes.
+
+The bench harness measures everything in *virtual* time, so the tracer is the
+single source of truth for latency/throughput numbers reported against the
+paper's figures.  Models emit structured :class:`TraceRecord` rows through a
+shared :class:`Tracer`; the harness filters and aggregates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from .core import Environment
+
+__all__ = ["TraceRecord", "Tracer", "Counter", "IntervalStats"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace row.
+
+    Attributes
+    ----------
+    time:
+        Virtual timestamp (µs).
+    source:
+        Hierarchical origin, e.g. ``"host1.ntb.right.dma"``.
+    kind:
+        Event class, e.g. ``"dma_complete"``, ``"doorbell"``, ``"put_done"``.
+    detail:
+        Free-form payload (sizes, vectors, peer ids ...).
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Counter:
+    """A named monotonically increasing counter with byte accounting."""
+
+    __slots__ = ("name", "count", "bytes")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.bytes = 0
+
+    def add(self, n: int = 1, nbytes: int = 0) -> None:
+        self.count += n
+        self.bytes += nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name} count={self.count} bytes={self.bytes}>"
+
+
+@dataclass
+class IntervalStats:
+    """Aggregate of observed durations (µs): count/min/max/mean/total."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    def observe(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        if duration < self.minimum:
+            self.minimum = duration
+        if duration > self.maximum:
+            self.maximum = duration
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Tracer:
+    """Collects trace records and derived statistics for one simulation.
+
+    Recording may be disabled wholesale (``enabled=False``) for large
+    benchmark runs where only counters matter; counters and interval stats
+    keep working either way.
+    """
+
+    def __init__(self, env: Environment, enabled: bool = True,
+                 max_records: Optional[int] = None):
+        self.env = env
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.counters: dict[str, Counter] = {}
+        self.intervals: dict[str, IntervalStats] = {}
+        #: optional external sinks, called per record even when recording
+        #: to ``records`` is disabled.
+        self.sinks: list[Callable[[TraceRecord], None]] = []
+
+    # -- records --------------------------------------------------------------
+    def emit(self, source: str, kind: str, **detail: Any) -> None:
+        """Record one trace row at the current virtual time."""
+        record = TraceRecord(self.env.now, source, kind, detail)
+        for sink in self.sinks:
+            sink(record)
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            return
+        self.records.append(record)
+
+    def query(self, source: Optional[str] = None, kind: Optional[str] = None,
+              since: float = 0.0) -> Iterator[TraceRecord]:
+        """Iterate records filtered by source prefix / kind / time."""
+        for record in self.records:
+            if record.time < since:
+                continue
+            if source is not None and not record.source.startswith(source):
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            yield record
+
+    # -- counters ---------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def count(self, name: str, n: int = 1, nbytes: int = 0) -> None:
+        self.counter(name).add(n, nbytes)
+
+    # -- intervals ----------------------------------------------------------------
+    def interval(self, name: str) -> IntervalStats:
+        stats = self.intervals.get(name)
+        if stats is None:
+            stats = self.intervals[name] = IntervalStats()
+        return stats
+
+    def observe(self, name: str, duration: float) -> None:
+        self.interval(name).observe(duration)
+
+    # -- convenience ----------------------------------------------------------------
+    def throughput_mbps(self, counter_name: str,
+                        elapsed_us: Optional[float] = None) -> float:
+        """MB/s implied by a byte counter over ``elapsed_us`` (default: now)."""
+        counter = self.counters.get(counter_name)
+        if counter is None or counter.bytes == 0:
+            return 0.0
+        elapsed = self.env.now if elapsed_us is None else elapsed_us
+        if elapsed <= 0:
+            return 0.0
+        # bytes / µs == MB/s (1e6 B / 1e6 µs)
+        return counter.bytes / elapsed
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dict of counters and interval stats (harness reporting)."""
+        out: dict[str, Any] = {}
+        for name, counter in sorted(self.counters.items()):
+            out[f"count.{name}"] = counter.count
+            if counter.bytes:
+                out[f"bytes.{name}"] = counter.bytes
+        for name, stats in sorted(self.intervals.items()):
+            out[f"interval.{name}.count"] = stats.count
+            out[f"interval.{name}.mean_us"] = stats.mean
+            out[f"interval.{name}.max_us"] = stats.maximum
+        return out
+
+
+def merge_interval_stats(stats: Iterable[IntervalStats]) -> IntervalStats:
+    """Combine several interval aggregates into one."""
+    merged = IntervalStats()
+    for item in stats:
+        if item.count == 0:
+            continue
+        merged.count += item.count
+        merged.total += item.total
+        merged.minimum = min(merged.minimum, item.minimum)
+        merged.maximum = max(merged.maximum, item.maximum)
+    return merged

@@ -1,0 +1,229 @@
+"""Tests for API surface details: wait_until, fences, local buffers,
+staging, error paths, and the program runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.core import ShmemError
+from repro.core.program import make_cluster
+from repro.fabric import Cluster, ClusterConfig
+
+
+class TestWaitUntil:
+    def test_wait_until_wakes_on_remote_put(self):
+        def main(pe):
+            flag = yield from pe.malloc(8)
+            pe.write_symmetric(flag, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            me, n = pe.my_pe(), pe.num_pes()
+            if me == 0:
+                yield pe.rt.env.timeout(2000.0)
+                yield from pe.p(flag, 42, 1)
+                value = 42
+            elif me == 1:
+                value = yield from pe.wait_until(flag, "==", 42)
+            else:
+                value = 42
+            yield from pe.barrier_all()
+            return value
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [42, 42, 42]
+
+    def test_wait_until_immediate_when_satisfied(self):
+        def main(pe):
+            flag = yield from pe.malloc(8)
+            pe.write_symmetric(flag, np.array([100], dtype=np.int64))
+            value = yield from pe.wait_until(flag, ">=", 50)
+            yield from pe.barrier_all()
+            return value
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [100] * 3
+
+    @pytest.mark.parametrize("op", ["==", "!=", "<", "<=", ">", ">="])
+    def test_all_comparison_ops(self, op):
+        def main(pe):
+            flag = yield from pe.malloc(8)
+            pe.write_symmetric(flag, np.array([10], dtype=np.int64))
+            reference = {"==": 10, "!=": 5, "<": 20, "<=": 10,
+                         ">": 5, ">=": 10}[op]
+            value = yield from pe.wait_until(flag, op, reference)
+            yield from pe.barrier_all()
+            return value == 10
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_unknown_op_rejected(self):
+        def main(pe):
+            flag = yield from pe.malloc(8)
+            try:
+                yield from pe.wait_until(flag, "~=", 0)
+            except ShmemError:
+                result = True
+            else:
+                result = False
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_wait_until_wakes_on_amo(self):
+        def main(pe):
+            flag = yield from pe.malloc(8)
+            pe.write_symmetric(flag, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            if pe.my_pe() == 2:
+                yield from pe.atomic_add(flag, 1, 0)
+            if pe.my_pe() == 0:
+                yield from pe.wait_until(flag, "==", 1)
+            yield from pe.barrier_all()
+            return True
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+
+class TestQuietAndFence:
+    def test_quiet_completes_neighbor_put_remotely(self):
+        """After quiet, a neighbor put is visible remotely (ACK = drained)."""
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            pe.write_symmetric(cell, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            if pe.my_pe() == 0:
+                yield from pe.p(cell, 7, 1)
+                yield from pe.quiet()
+                # Verify via a get (no barrier in between!).
+                value = yield from pe.g(cell, 1)
+                ok = value == 7
+            else:
+                ok = True
+            yield from pe.barrier_all()
+            return ok
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_fence_orders_two_puts(self):
+        def main(pe):
+            cell = yield from pe.malloc(16)
+            yield from pe.barrier_all()
+            if pe.my_pe() == 0:
+                yield from pe.p(cell, 1, 1)
+                yield from pe.fence()
+                yield from pe.p(cell + 8, 2, 1)
+            yield from pe.barrier_all()
+            if pe.my_pe() == 1:
+                values = pe.read_symmetric_array(cell, 2, np.int64)
+                return values.tolist() == [1, 2]
+            return True
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+
+class TestLocalBuffers:
+    def test_local_buffer_rw(self):
+        def main(pe):
+            buffer = pe.local_alloc(8192)
+            data = np.arange(1024, dtype=np.float64)
+            buffer.write(data)
+            got = buffer.read_array(np.float64, 1024)
+            yield from pe.barrier_all()
+            return bool(np.array_equal(got, data))
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_local_buffer_overrun_rejected(self):
+        def main(pe):
+            buffer = pe.local_alloc(64)
+            try:
+                buffer.write(b"x" * (buffer.nbytes + 1))
+            except Exception as exc:
+                result = type(exc).__name__
+            else:
+                result = "none"
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "TransferError" for r in report.results)
+
+    def test_staging_buffer_grows(self):
+        def main(pe):
+            dest = yield from pe.malloc(256 * 1024)
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            yield from pe.put(dest, b"a" * 100, right)
+            yield from pe.put(dest, b"b" * 200_000, right)  # regrow
+            yield from pe.barrier_all()
+            got = pe.read_symmetric(dest, 200_000)
+            return bool((got == ord("b")).all())
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+
+class TestProgramRunner:
+    def test_results_in_pe_order(self):
+        def main(pe):
+            yield from pe.barrier_all()
+            return pe.my_pe() * 100
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [0, 100, 200]
+
+    def test_reuse_external_cluster(self):
+        cluster = make_cluster(3)
+        report = run_spmd(lambda pe: iter(()), n_pes=3, cluster=cluster)
+        assert report.cluster is cluster
+
+    def test_pe_count_mismatch_rejected(self):
+        with pytest.raises(ShmemError):
+            run_spmd(lambda pe: iter(()), n_pes=4,
+                     cluster_config=ClusterConfig(n_hosts=3))
+
+    def test_heap_divergence_detected(self):
+        """A non-SPMD allocation pattern trips the Fig. 3 invariant check."""
+        def main(pe):
+            if pe.my_pe() == 0:
+                yield from pe.malloc(64)
+            else:
+                yield from pe.malloc(128)
+            yield from pe.barrier_all()
+
+        with pytest.raises(ShmemError, match="divergence"):
+            run_spmd(main, n_pes=3, finalize=False)
+
+    def test_stats_aggregate(self):
+        def main(pe):
+            sym = yield from pe.malloc(64)
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            yield from pe.p(sym, 1, right)
+            yield from pe.barrier_all()
+
+        report = run_spmd(main, n_pes=3)
+        stats = report.stats()
+        assert stats["puts"] == 3
+        assert stats["elapsed_us"] > 0
+
+    def test_user_exception_propagates(self):
+        def main(pe):
+            yield from pe.barrier_all()
+            if pe.my_pe() == 1:
+                raise RuntimeError("application bug")
+            yield from pe.barrier_all()
+
+        with pytest.raises(RuntimeError, match="application bug"):
+            run_spmd(main, n_pes=3)
+
+    def test_elapsed_time_is_positive_and_finite(self):
+        report = run_spmd(lambda pe: iter(()), n_pes=2,
+                          cluster_config=ClusterConfig(n_hosts=2))
+        assert 0 < report.elapsed_us < 10_000_000

@@ -1,0 +1,164 @@
+"""Tests for remote atomic memory operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AmoOp, run_spmd
+from repro.core.service import _amo_compute, _signed64
+
+
+class TestAmoArithmetic:
+    """Pure-function checks of the RMW computation."""
+
+    def test_fetch_returns_old(self):
+        assert _amo_compute(AmoOp.FETCH, 42, 0, 0) == 42
+
+    def test_set(self):
+        assert _amo_compute(AmoOp.SET, 42, 7, 0) == 7
+
+    def test_add_wraps_signed64(self):
+        assert _amo_compute(AmoOp.ADD, 2**63 - 1, 1, 0) == -(2**63)
+
+    def test_compare_swap_hit_and_miss(self):
+        assert _amo_compute(AmoOp.COMPARE_SWAP, 5, 99, 5) == 99
+        assert _amo_compute(AmoOp.COMPARE_SWAP, 5, 99, 4) == 5
+
+    def test_bitwise(self):
+        assert _amo_compute(AmoOp.AND, 0b1100, 0b1010, 0) == 0b1000
+        assert _amo_compute(AmoOp.OR, 0b1100, 0b1010, 0) == 0b1110
+        assert _amo_compute(AmoOp.XOR, 0b1100, 0b1010, 0) == 0b0110
+
+    def test_bitwise_on_negative_masks_correctly(self):
+        assert _amo_compute(AmoOp.AND, -1, 0xFF, 0) == 0xFF
+
+    def test_signed64_roundtrip(self):
+        assert _signed64(2**64 - 1) == -1
+        assert _signed64(5) == 5
+
+
+class TestRemoteAtomics:
+    def test_fetch_add_serializes_all_pes(self):
+        """Every PE fetch-adds PE 0's counter; olds must be distinct and
+        the final sum exact — the atomicity contract."""
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            pe.write_symmetric(cell, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            old = yield from pe.atomic_fetch_add(cell, 1, 0)
+            yield from pe.barrier_all()
+            final = yield from pe.atomic_fetch(cell, 0)
+            return (old, final)
+
+        report = run_spmd(main, n_pes=3)
+        olds = sorted(old for old, _final in report.results)
+        assert olds == [0, 1, 2]
+        assert all(final == 3 for _old, final in report.results)
+
+    def test_compare_swap_exactly_one_winner(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            pe.write_symmetric(cell, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            old = yield from pe.atomic_compare_swap(
+                cell, compare=0, value=pe.my_pe() + 1, pe=0
+            )
+            won = old == 0
+            yield from pe.barrier_all()
+            return won
+
+        report = run_spmd(main, n_pes=3)
+        assert sum(report.results) == 1
+
+    def test_atomic_set_and_fetch(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            yield from pe.barrier_all()
+            if pe.my_pe() == 1:
+                yield from pe.atomic_set(cell, 777, 2)
+            yield from pe.barrier_all()
+            value = yield from pe.atomic_fetch(cell, 2)
+            return value
+
+        report = run_spmd(main, n_pes=3)
+        assert all(v == 777 for v in report.results)
+
+    def test_atomics_to_two_hop_owner(self):
+        """AMO requests forward through an intermediate host."""
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            pe.write_symmetric(cell, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            target = (pe.my_pe() + 2) % pe.num_pes()
+            old = yield from pe.atomic_fetch_add(cell, 5, target)
+            yield from pe.barrier_all()
+            mine = int(pe.read_symmetric_array(cell, 1, np.int64)[0])
+            return mine
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [5, 5, 5]
+
+    def test_local_amo_fast_path(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            pe.write_symmetric(cell, np.array([10], dtype=np.int64))
+            old = yield from pe.atomic_fetch_add(cell, 2, pe.my_pe())
+            yield from pe.barrier_all()
+            return (old,
+                    int(pe.read_symmetric_array(cell, 1, np.int64)[0]))
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == (10, 12) for r in report.results)
+
+    def test_fetch_bitwise_ops(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            pe.write_symmetric(cell, np.array([0b1111], dtype=np.int64))
+            yield from pe.barrier_all()
+            if pe.my_pe() == 1:
+                old = yield from pe.atomic_fetch_and(cell, 0b1010, 0)
+                assert old == 0b1111
+            yield from pe.barrier_all()
+            if pe.my_pe() == 2:
+                old = yield from pe.atomic_fetch_or(cell, 0b0100, 0)
+                assert old == 0b1010
+            yield from pe.barrier_all()
+            if pe.my_pe() == 0:
+                old = yield from pe.atomic_fetch_xor(cell, 0b0001, 0)
+                assert old == 0b1110
+            yield from pe.barrier_all()
+            value = yield from pe.atomic_fetch(cell, 0)
+            return value
+
+        report = run_spmd(main, n_pes=3)
+        assert all(v == 0b1111 for v in report.results)
+
+    def test_negative_values(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            pe.write_symmetric(cell, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            yield from pe.atomic_add(cell, -(pe.my_pe() + 1), 0)
+            yield from pe.barrier_all()
+            value = yield from pe.atomic_fetch(cell, 0)
+            return value
+
+        report = run_spmd(main, n_pes=3)
+        assert all(v == -6 for v in report.results)
+
+    def test_bad_op_rejected(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            yield from pe.barrier_all()
+            try:
+                yield from pe.rt.amo(0, cell, 99)
+            except Exception as exc:
+                result = type(exc).__name__
+            else:
+                result = "none"
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "TransferError" for r in report.results)

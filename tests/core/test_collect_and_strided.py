@@ -1,0 +1,142 @@
+"""Tests for the variable-size collect collective and strided iput/iget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+
+
+class TestCollect:
+    def test_variable_sizes_concatenate_in_order(self):
+        def main(pe):
+            me, n = pe.my_pe(), pe.num_pes()
+            my_size = (me + 1) * 100
+            src = yield from pe.malloc(512)
+            dest = yield from pe.malloc(4096)
+            pe.write_symmetric(
+                src, np.full(my_size, me + 1, dtype=np.uint8)
+            )
+            yield from pe.barrier_all()
+            sizes = yield from pe.collect(dest, src, my_size)
+            got = pe.read_symmetric(dest, sum(sizes))
+            cursor, ok = 0, True
+            for sender, size in enumerate(sizes):
+                chunk = got[cursor:cursor + size]
+                ok = ok and (chunk == sender + 1).all() \
+                    and size == (sender + 1) * 100
+                cursor += size
+            return bool(ok)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_zero_size_contribution(self):
+        def main(pe):
+            me = pe.my_pe()
+            src = yield from pe.malloc(64)
+            dest = yield from pe.malloc(256)
+            my_size = 0 if me == 1 else 32
+            if my_size:
+                pe.write_symmetric(
+                    src, np.full(my_size, me + 5, dtype=np.uint8)
+                )
+            yield from pe.barrier_all()
+            sizes = yield from pe.collect(dest, src, my_size)
+            return sizes
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [[32, 0, 32]] * 3
+
+    def test_collect_returns_sizes_everywhere(self):
+        def main(pe):
+            src = yield from pe.malloc(64)
+            dest = yield from pe.malloc(512)
+            yield from pe.barrier_all()
+            sizes = yield from pe.collect(dest, src, 8 * (pe.my_pe() + 1))
+            return sizes
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results[0] == report.results[1] == report.results[2]
+
+
+class TestStridedPut:
+    def test_iput_scatters_with_stride(self):
+        def main(pe):
+            dest = yield from pe.malloc_array(16, np.int64)
+            pe.write_symmetric(dest, np.zeros(16, dtype=np.int64))
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            values = np.array([1, 2, 3, 4], dtype=np.int64) * \
+                (pe.my_pe() + 1)
+            yield from pe.iput(dest, values, right, target_stride=4)
+            yield from pe.barrier_all()
+            got = pe.read_symmetric_array(dest, 16, np.int64)
+            left = (pe.my_pe() - 1) % pe.num_pes()
+            expect = np.zeros(16, dtype=np.int64)
+            expect[::4] = np.array([1, 2, 3, 4]) * (left + 1)
+            return bool(np.array_equal(got, expect))
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_iput_stride_one_is_contiguous(self):
+        def main(pe):
+            dest = yield from pe.malloc_array(8, np.float64)
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            yield from pe.iput(dest, np.arange(8, dtype=np.float64),
+                               right, target_stride=1)
+            yield from pe.barrier_all()
+            got = pe.read_symmetric_array(dest, 8, np.float64)
+            return bool(np.allclose(got, np.arange(8)))
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_bad_stride_rejected(self):
+        def main(pe):
+            dest = yield from pe.malloc_array(4, np.int64)
+            try:
+                yield from pe.iput(dest, np.zeros(2, dtype=np.int64), 1,
+                                   target_stride=0)
+            except Exception as exc:
+                result = type(exc).__name__
+            else:
+                result = "none"
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "TransferError" for r in report.results)
+
+
+class TestStridedGet:
+    def test_iget_gathers_with_stride(self):
+        def main(pe):
+            src = yield from pe.malloc_array(32, np.int64)
+            pe.write_symmetric(
+                src, np.arange(32, dtype=np.int64) + pe.my_pe() * 100
+            )
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            got = yield from pe.iget(src, 8, np.int64, right,
+                                     source_stride=4)
+            yield from pe.barrier_all()
+            expect = np.arange(0, 32, 4, dtype=np.int64) + right * 100
+            return bool(np.array_equal(got, expect))
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_iget_zero_count(self):
+        def main(pe):
+            src = yield from pe.malloc_array(4, np.int64)
+            yield from pe.barrier_all()
+            got = yield from pe.iget(src, 0, np.int64, 1, source_stride=2)
+            yield from pe.barrier_all()
+            return len(got)
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [0, 0, 0]

@@ -1,0 +1,217 @@
+"""Tests for collective operations built on Put + barrier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, run_spmd
+from repro.core import SymAddr
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("algorithm", ["linear", "ring"])
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_broadcast_delivers_to_all(self, algorithm, root):
+        def main(pe):
+            src = yield from pe.malloc(1024)
+            dest = yield from pe.malloc(1024)
+            if pe.my_pe() == root:
+                pe.write_symmetric(
+                    src, np.full(1024, 0xB0 + root, dtype=np.uint8)
+                )
+            yield from pe.barrier_all()
+            yield from pe.broadcast(dest, src, 1024, root,
+                                    algorithm=algorithm)
+            if pe.my_pe() == root:
+                return True  # root's dest intentionally untouched
+            got = pe.read_symmetric(dest, 1024)
+            return bool((got == 0xB0 + root).all())
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_ring_broadcast_on_five(self):
+        def main(pe):
+            src = yield from pe.malloc(4096)
+            dest = yield from pe.malloc(4096)
+            if pe.my_pe() == 2:
+                pe.write_symmetric(src, np.full(4096, 7, dtype=np.uint8))
+            yield from pe.barrier_all()
+            yield from pe.broadcast(dest, src, 4096, 2, algorithm="ring")
+            if pe.my_pe() == 2:
+                return True
+            return bool((pe.read_symmetric(dest, 4096) == 7).all())
+
+        report = run_spmd(main, n_pes=5,
+                          cluster_config=ClusterConfig(n_hosts=5))
+        assert all(report.results)
+
+    def test_unknown_algorithm_rejected(self):
+        def main(pe):
+            src = yield from pe.malloc(64)
+            try:
+                yield from pe.broadcast(src, src, 64, 0,
+                                        algorithm="quantum")
+            except Exception as exc:
+                result = type(exc).__name__
+            else:
+                result = "none"
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "ShmemError" for r in report.results)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("op,expected", [
+        ("sum", 0 + 1 + 2),
+        ("max", 2),
+        ("min", 0),
+        ("prod", 0),
+    ])
+    def test_scalar_reductions(self, op, expected):
+        def main(pe):
+            src = yield from pe.malloc_array(1, np.int64)
+            dest = yield from pe.malloc_array(1, np.int64)
+            pe.write_symmetric(
+                src, np.array([pe.my_pe()], dtype=np.int64)
+            )
+            yield from pe.barrier_all()
+            yield from pe.reduce(dest, src, 1, np.int64, op)
+            return int(pe.read_symmetric_array(dest, 1, np.int64)[0])
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [expected] * 3
+
+    def test_vector_sum_float64(self):
+        count = 256
+
+        def main(pe):
+            src = yield from pe.malloc_array(count, np.float64)
+            dest = yield from pe.malloc_array(count, np.float64)
+            contribution = np.arange(count, dtype=np.float64) * \
+                (pe.my_pe() + 1)
+            pe.write_symmetric(src, contribution)
+            yield from pe.barrier_all()
+            yield from pe.reduce(dest, src, count, np.float64, "sum")
+            got = pe.read_symmetric_array(dest, count, np.float64)
+            expect = np.arange(count, dtype=np.float64) * 6  # 1+2+3
+            return bool(np.allclose(got, expect))
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_bitwise_reduce(self):
+        def main(pe):
+            src = yield from pe.malloc_array(1, np.int64)
+            dest = yield from pe.malloc_array(1, np.int64)
+            pe.write_symmetric(
+                src, np.array([1 << pe.my_pe()], dtype=np.int64)
+            )
+            yield from pe.barrier_all()
+            yield from pe.reduce(dest, src, 1, np.int64, "bor")
+            return int(pe.read_symmetric_array(dest, 1, np.int64)[0])
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [0b111] * 3
+
+    def test_bitwise_requires_int_dtype(self):
+        def main(pe):
+            src = yield from pe.malloc_array(1, np.float64)
+            try:
+                yield from pe.reduce(src, src, 1, np.float64, "band")
+            except Exception as exc:
+                result = type(exc).__name__
+            else:
+                result = "none"
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "ShmemError" for r in report.results)
+
+    def test_explicit_workspace(self):
+        def main(pe):
+            n = pe.num_pes()
+            src = yield from pe.malloc_array(4, np.int64)
+            dest = yield from pe.malloc_array(4, np.int64)
+            ws = yield from pe.malloc(n * 4 * 8)
+            pe.write_symmetric(
+                src, np.full(4, pe.my_pe() + 1, dtype=np.int64)
+            )
+            yield from pe.barrier_all()
+            yield from pe.reduce(dest, src, 4, np.int64, "sum",
+                                 workspace=ws)
+            return pe.read_symmetric_array(dest, 4, np.int64).tolist()
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == [6, 6, 6, 6] for r in report.results)
+
+    def test_unknown_op_rejected(self):
+        def main(pe):
+            src = yield from pe.malloc_array(1, np.int64)
+            try:
+                yield from pe.reduce(src, src, 1, np.int64, "mean")
+            except Exception as exc:
+                result = type(exc).__name__
+            else:
+                result = "none"
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "ShmemError" for r in report.results)
+
+
+class TestFcollect:
+    def test_concatenates_in_pe_order(self):
+        block = 512
+
+        def main(pe):
+            src = yield from pe.malloc(block)
+            dest = yield from pe.malloc(block * pe.num_pes())
+            pe.write_symmetric(
+                src, np.full(block, pe.my_pe() + 1, dtype=np.uint8)
+            )
+            yield from pe.barrier_all()
+            yield from pe.fcollect(dest, src, block)
+            got = pe.read_symmetric(dest, block * pe.num_pes())
+            ok = all(
+                (got[i * block:(i + 1) * block] == i + 1).all()
+                for i in range(pe.num_pes())
+            )
+            return bool(ok)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+
+class TestAlltoall:
+    def test_transpose_semantics(self):
+        block = 256
+
+        def main(pe):
+            n = pe.num_pes()
+            src = yield from pe.malloc(block * n)
+            dest = yield from pe.malloc(block * n)
+            # Block j carries the value 10*me + j.
+            me = pe.my_pe()
+            for j in range(n):
+                pe.write_symmetric(
+                    SymAddr(src.offset + j * block),
+                    np.full(block, 10 * me + j, dtype=np.uint8),
+                )
+            yield from pe.barrier_all()
+            yield from pe.alltoall(dest, src, block)
+            got = pe.read_symmetric(dest, block * n)
+            # Slot i must hold PE i's block `me`: value 10*i + me.
+            ok = all(
+                (got[i * block:(i + 1) * block] == 10 * i + me).all()
+                for i in range(n)
+            )
+            return bool(ok)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)

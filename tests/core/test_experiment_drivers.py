@@ -1,0 +1,86 @@
+"""Sanity tests for the bench experiment drivers (fast, tiny sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_all
+from repro.bench.experiments import (
+    CONFIGS,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+)
+
+
+class TestFig8Driver:
+    def test_row_structure(self):
+        result = run_fig8(sizes=[8192], repeats=2)
+        experiments = {row.experiment for row in result.rows}
+        assert experiments == {"fig8a", "fig8b", "fig8c", "fig8d"}
+        for row in result.rows:
+            assert row.unit == "MB/s"
+            assert row.value > 0
+            assert row.series in ("Independent", "Ring")
+
+    def test_generalizes_to_other_ring_sizes(self):
+        result = run_fig8(sizes=[8192], n_hosts=4, repeats=1)
+        totals = [r for r in result.rows if r.experiment == "fig8d"]
+        assert len(totals) == 2
+        per_link = [r for r in result.rows if r.experiment != "fig8d"]
+        assert len(per_link) == 4 * 2  # four links, two series
+
+    def test_independent_at_least_ring(self):
+        result = run_fig8(sizes=[262144], repeats=2)
+        for sub in ("fig8a", "fig8b", "fig8c"):
+            series = {
+                row.series: row.value
+                for row in result.rows if row.experiment == sub
+            }
+            assert series["Independent"] >= series["Ring"] * 0.999
+
+
+class TestFig9Driver:
+    def test_all_series_and_derived_throughput(self):
+        result = run_fig9(sizes=[4096])
+        for experiment in ("fig9a", "fig9b", "fig9c", "fig9d"):
+            series = {
+                row.series for row in result.rows
+                if row.experiment == experiment
+            }
+            assert series == {name for name, _m, _h in CONFIGS}
+        lat = result.series("fig9a", "DMA 1 hop")[4096]
+        thr = result.series("fig9c", "DMA 1 hop")[4096]
+        assert thr == pytest.approx(4096 / lat)
+
+
+class TestFig10Driver:
+    def test_rows_per_config(self):
+        result = run_fig10(sizes=[2048], barrier_repeats=2)
+        assert len(result.rows) == len(CONFIGS)
+        for row in result.rows:
+            assert row.unit == "us"
+            assert row.value > 50
+
+
+class TestTable1Driver:
+    def test_all_apis_measured(self):
+        result = run_table1()
+        apis = {row.series for row in result.rows}
+        assert "shmem_malloc" in apis
+        assert "shmem_barrier_all" in apis
+        assert "shmem_put (8B, 1 hop)" in apis
+        assert all(row.value >= 0 for row in result.rows)
+
+
+class TestRunAll:
+    def test_quick_run_collects_everything(self):
+        report = run_all(sizes=[1024, 524288])
+        experiments = {row.experiment for row in report.rows}
+        assert {"fig8a", "fig8d", "fig9a", "fig9b", "fig9c", "fig9d",
+                "fig10", "table1"} <= experiments
+        assert report.all_shapes_pass
+        rendered = report.render()
+        assert "Fig 9(b)" in rendered
+        assert "[PASS]" in rendered

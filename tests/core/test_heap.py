@@ -1,0 +1,143 @@
+"""Unit tests for the symmetric heap (Fig. 3 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HeapConfig, SymAddr, SymmetricHeap, SymmetricHeapError
+from repro.core.heap import SYMMETRIC_HEAP_VIRT_BASE
+from repro.host import Host
+
+from ..conftest import pattern
+
+
+@pytest.fixture
+def host(env):
+    return Host(env, 0)
+
+
+@pytest.fixture
+def heap(host):
+    return SymmetricHeap(host, HeapConfig(chunk_size=1 << 20, max_chunks=4))
+
+
+class TestGrowth:
+    def test_grows_on_demand(self, heap):
+        assert heap.n_chunks == 0
+        heap.malloc(100)
+        assert heap.n_chunks == 1
+
+    def test_fills_chunk_before_growing(self, heap):
+        heap.malloc(512 * 1024)
+        heap.malloc(400 * 1024)
+        assert heap.n_chunks == 1
+        heap.malloc(400 * 1024)  # spills into chunk 2
+        assert heap.n_chunks == 2
+
+    def test_chunks_virtually_concatenated(self, heap):
+        """Paper: scattered physical chunks, contiguous virtual addresses."""
+        big = heap.malloc(1 << 20)  # exactly one chunk
+        second = heap.malloc(1 << 20)
+        assert heap.virt_of(second) == heap.virt_of(big) + (1 << 20)
+        # Write spanning the chunk boundary works through the VAS.
+        span = SymAddr((1 << 20) - 512)
+        data = pattern(1024)
+        heap.write(span, data)
+        assert np.array_equal(heap.read(span, 1024), data)
+
+    def test_max_chunks_enforced(self, heap):
+        with pytest.raises(SymmetricHeapError):
+            heap.malloc(5 << 20)
+
+    def test_virt_base_is_canonical(self, heap):
+        addr = heap.malloc(64)
+        assert heap.virt_of(addr) == SYMMETRIC_HEAP_VIRT_BASE + addr.offset
+
+
+class TestSameOffsetInvariant:
+    def test_identical_sequences_identical_offsets(self, env):
+        """The Fig. 3(b) invariant across two independent PEs."""
+        heaps = [
+            SymmetricHeap(Host(env, host_id), HeapConfig(chunk_size=1 << 20))
+            for host_id in range(3)
+        ]
+        offsets_by_pe = []
+        for heap in heaps:
+            offsets = []
+            a = heap.malloc(100)
+            b = heap.malloc(5000)
+            heap.free(a)
+            c = heap.malloc(64)  # reuses a's slot deterministically
+            offsets.extend([a.offset, b.offset, c.offset])
+            offsets_by_pe.append(offsets)
+        assert offsets_by_pe[0] == offsets_by_pe[1] == offsets_by_pe[2]
+
+    def test_fingerprint_tracks_frees(self, heap):
+        a = heap.malloc(100)
+        heap.free(a)
+        fp = heap.fingerprint()
+        assert fp[-1] == (a.offset, -1)
+
+
+class TestAllocationErrors:
+    def test_zero_size_rejected(self, heap):
+        with pytest.raises(SymmetricHeapError):
+            heap.malloc(0)
+
+    def test_double_free_rejected(self, heap):
+        addr = heap.malloc(64)
+        heap.free(addr)
+        with pytest.raises(SymmetricHeapError):
+            heap.free(addr)
+
+    def test_range_check(self, heap):
+        addr = heap.malloc(64)
+        with pytest.raises(SymmetricHeapError):
+            heap.check_range(addr, 2 << 20)
+        with pytest.raises(SymmetricHeapError):
+            heap.check_range(SymAddr(-1), 1)
+
+
+class TestDataAccess:
+    def test_write_read_roundtrip(self, heap):
+        addr = heap.malloc(4096)
+        data = pattern(4096, seed=11)
+        heap.write(addr, data)
+        assert np.array_equal(heap.read(addr, 4096), data)
+
+    def test_segments_are_page_granular(self, heap):
+        addr = heap.malloc(32 * 1024)
+        segments = heap.segments(addr, 32 * 1024)
+        assert sum(s.nbytes for s in segments) == 32 * 1024
+        assert all(s.nbytes <= 4096 for s in segments)
+
+    def test_symaddr_arithmetic(self):
+        addr = SymAddr(0x100, nbytes=64)
+        moved = addr + 16
+        assert moved.offset == 0x110
+        with pytest.raises(SymmetricHeapError):
+            _ = addr + (-1)
+
+    def test_reset_releases_everything(self, heap, host):
+        free_before = host.dram.free_bytes
+        heap.malloc(1 << 20)
+        heap.malloc(100)
+        heap.reset()
+        assert heap.n_chunks == 0
+        assert host.dram.free_bytes == free_before
+        # Reusable after reset.
+        addr = heap.malloc(64)
+        assert addr.offset == 0
+
+
+class TestHeapConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeapConfig(chunk_size=1000)
+        with pytest.raises(ValueError):
+            HeapConfig(max_chunks=0)
+
+    def test_capacity(self):
+        config = HeapConfig(chunk_size=1 << 20, max_chunks=8)
+        assert config.capacity == 8 << 20

@@ -1,0 +1,109 @@
+"""Tests for distributed locks over remote atomics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+
+
+class TestMutualExclusion:
+    def test_critical_section_is_exclusive(self):
+        """Classic lost-update test: N PEs each do M unlocked-looking
+        read-modify-writes under the lock; the total must be exact."""
+        increments = 4
+
+        def main(pe):
+            lock = yield from pe.malloc(8)
+            counter = yield from pe.malloc(8)
+            pe.write_symmetric(lock, np.zeros(1, dtype=np.int64))
+            pe.write_symmetric(counter, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            for _ in range(increments):
+                yield from pe.set_lock(lock)
+                # Non-atomic RMW through the ring: get, add, put.
+                value = yield from pe.g(counter, 0)
+                yield from pe.p(counter, value + 1, 0)
+                yield from pe.quiet()
+                yield from pe.clear_lock(lock)
+            yield from pe.barrier_all()
+            return (yield from pe.g(counter, 0))
+
+        report = run_spmd(main, n_pes=3)
+        assert all(v == 3 * increments for v in report.results)
+
+    def test_test_lock_nonblocking(self):
+        def main(pe):
+            lock = yield from pe.malloc(8)
+            pe.write_symmetric(lock, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            if pe.my_pe() == 0:
+                got = yield from pe.test_lock(lock)
+                assert got
+                yield from pe.barrier_all()  # others try while held
+                yield from pe.barrier_all()
+                yield from pe.clear_lock(lock)
+                return True
+            else:
+                yield from pe.barrier_all()
+                got = yield from pe.test_lock(lock)
+                yield from pe.barrier_all()
+                return got  # must be False: PE 0 holds it
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [True, False, False]
+
+    def test_clear_without_hold_raises(self):
+        def main(pe):
+            lock = yield from pe.malloc(8)
+            pe.write_symmetric(lock, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            result = "none"
+            if pe.my_pe() == 1:
+                try:
+                    yield from pe.clear_lock(lock)
+                except Exception as exc:
+                    result = type(exc).__name__
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results[1] == "ShmemError"
+
+    def test_double_acquire_detected(self):
+        def main(pe):
+            lock = yield from pe.malloc(8)
+            pe.write_symmetric(lock, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            result = "none"
+            if pe.my_pe() == 0:
+                yield from pe.set_lock(lock)
+                try:
+                    yield from pe.set_lock(lock)
+                except Exception as exc:
+                    result = type(exc).__name__
+                yield from pe.clear_lock(lock)
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results[0] == "ShmemError"
+
+    def test_lock_handoff_under_contention(self):
+        """All PEs repeatedly contend; everyone eventually acquires."""
+        def main(pe):
+            lock = yield from pe.malloc(8)
+            pe.write_symmetric(lock, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            acquisitions = 0
+            for _ in range(3):
+                yield from pe.set_lock(lock)
+                acquisitions += 1
+                yield pe.rt.env.timeout(50.0)  # hold briefly
+                yield from pe.clear_lock(lock)
+            yield from pe.barrier_all()
+            return acquisitions
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [3, 3, 3]

@@ -1,0 +1,218 @@
+"""Tests for the non-blocking variants: put_nbi, get_nbi, put_signal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Mode, run_spmd
+
+from ..conftest import pattern
+
+
+class TestPutNbi:
+    def test_put_nbi_completes_at_quiet(self):
+        def main(pe):
+            dest = yield from pe.malloc(64 * 1024)
+            src = pe.local_alloc(64 * 1024)
+            src.write(pattern(64 * 1024, seed=pe.my_pe()))
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            pe.put_nbi(dest, src, 64 * 1024, right)
+            yield from pe.quiet()
+            yield from pe.barrier_all()
+            left = (pe.my_pe() - 1) % pe.num_pes()
+            return bool(np.array_equal(
+                pe.read_symmetric(dest, 64 * 1024),
+                pattern(64 * 1024, seed=left),
+            ))
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_put_nbi_returns_before_completion(self):
+        """The handle returns in zero virtual time; the blocking put of
+        the same size takes hundreds of µs."""
+        def main(pe):
+            dest = yield from pe.malloc(256 * 1024)
+            src = pe.local_alloc(256 * 1024)
+            yield from pe.barrier_all()
+            issue_time = None
+            if pe.my_pe() == 0:
+                start = pe.rt.env.now
+                handle = pe.put_nbi(dest, src, 256 * 1024, 1)
+                issue_time = pe.rt.env.now - start
+                yield handle  # join explicitly
+            yield from pe.barrier_all()
+            return issue_time
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results[0] == 0.0
+
+    def test_many_nbi_puts_overlap(self):
+        """N NBI puts to distinct regions complete faster than N blocking
+        puts would (pipelining through the mailbox)."""
+        n_ops, size = 4, 32 * 1024
+
+        def timed(nbi):
+            def main(pe):
+                dest = yield from pe.malloc(size * n_ops)
+                srcs = [pe.local_alloc(size) for _ in range(n_ops)]
+                for i, s in enumerate(srcs):
+                    s.write(pattern(size, seed=i))
+                yield from pe.barrier_all()
+                elapsed = None
+                if pe.my_pe() == 0:
+                    start = pe.rt.env.now
+                    if nbi:
+                        for i, s in enumerate(srcs):
+                            pe.put_nbi(dest + i * size, s, size, 1)
+                        yield from pe.quiet()
+                    else:
+                        for i, s in enumerate(srcs):
+                            yield from pe.put_from(
+                                dest + i * size, s, size, 1
+                            )
+                        yield from pe.quiet()
+                    elapsed = pe.rt.env.now - start
+                yield from pe.barrier_all()
+                if pe.my_pe() == 1:
+                    ok = all(
+                        np.array_equal(
+                            pe.read_symmetric(dest + i * size, size),
+                            pattern(size, seed=i),
+                        )
+                        for i in range(n_ops)
+                    )
+                    assert ok, "nbi data corrupted"
+                return elapsed
+
+            return run_spmd(main, n_pes=3).results[0]
+
+        blocking = timed(nbi=False)
+        nonblocking = timed(nbi=True)
+        assert nonblocking <= blocking
+
+    def test_overrun_rejected(self):
+        def main(pe):
+            dest = yield from pe.malloc(1024)
+            src = pe.local_alloc(1024)
+            try:
+                pe.put_nbi(dest, src, src.nbytes + 1, 1)
+            except Exception as exc:
+                result = type(exc).__name__
+            else:
+                result = "none"
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "TransferError" for r in report.results)
+
+
+class TestGetNbi:
+    def test_get_nbi_data_after_quiet(self):
+        def main(pe):
+            src = yield from pe.malloc(16 * 1024)
+            pe.write_symmetric(src, pattern(16 * 1024, seed=pe.my_pe()))
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            dest = pe.local_alloc(16 * 1024)
+            pe.get_nbi(dest, src, 16 * 1024, right)
+            yield from pe.quiet()
+            ok = np.array_equal(
+                dest.read(16 * 1024), pattern(16 * 1024, seed=right)
+            )
+            yield from pe.barrier_all()
+            return bool(ok)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_concurrent_gets_from_both_neighbors(self):
+        def main(pe):
+            src = yield from pe.malloc(8 * 1024)
+            pe.write_symmetric(src, pattern(8 * 1024, seed=pe.my_pe()))
+            yield from pe.barrier_all()
+            me, n = pe.my_pe(), pe.num_pes()
+            right, left = (me + 1) % n, (me - 1) % n
+            buf_r = pe.local_alloc(8 * 1024)
+            buf_l = pe.local_alloc(8 * 1024)
+            pe.get_nbi(buf_r, src, 8 * 1024, right)
+            pe.get_nbi(buf_l, src, 8 * 1024, left)
+            yield from pe.quiet()
+            ok = (
+                np.array_equal(buf_r.read(8 * 1024),
+                               pattern(8 * 1024, seed=right))
+                and np.array_equal(buf_l.read(8 * 1024),
+                                   pattern(8 * 1024, seed=left))
+            )
+            yield from pe.barrier_all()
+            return bool(ok)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+
+class TestPutSignal:
+    @pytest.mark.parametrize("mode", [Mode.DMA, Mode.MEMCPY])
+    def test_signal_arrives_after_data(self, mode):
+        """Producer/consumer without a barrier: the consumer waits on the
+        signal cell and must then see ALL the data (ordering contract)."""
+        size = 100_000
+
+        def main(pe):
+            data_sym = yield from pe.malloc(size)
+            sig = yield from pe.malloc(8)
+            pe.write_symmetric(sig, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            me = pe.my_pe()
+            if me == 0:
+                yield from pe.put_signal(
+                    data_sym, pattern(size, seed=77), 1, sig, 99,
+                    mode=mode,
+                )
+                ok = True
+            elif me == 1:
+                yield from pe.wait_until(sig, "==", 99)
+                ok = np.array_equal(
+                    pe.read_symmetric(data_sym, size),
+                    pattern(size, seed=77),
+                )
+            else:
+                ok = True
+            yield from pe.barrier_all()
+            return bool(ok)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_signal_over_two_hops(self):
+        """Data and signal forwarded through an intermediate stay ordered
+        (single in-order channel per direction at every hop)."""
+        size = 80_000
+
+        def main(pe):
+            data_sym = yield from pe.malloc(size)
+            sig = yield from pe.malloc(8)
+            pe.write_symmetric(sig, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            me = pe.my_pe()
+            if me == 0:
+                yield from pe.put_signal(
+                    data_sym, pattern(size, seed=5), 2, sig, 7
+                )
+                ok = True
+            elif me == 2:
+                yield from pe.wait_until(sig, "==", 7)
+                ok = np.array_equal(
+                    pe.read_symmetric(data_sym, size),
+                    pattern(size, seed=5),
+                )
+            else:
+                ok = True
+            yield from pe.barrier_all()
+            return bool(ok)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)

@@ -1,0 +1,119 @@
+"""Tests for static symmetric objects and the reply watchdog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ShmemConfig, run_spmd
+from repro.core import ShmemError
+
+
+class TestStaticSymmetric:
+    def test_same_name_same_address(self):
+        def main(pe):
+            a = yield from pe.static_symmetric("counters", 64)
+            b = yield from pe.static_symmetric("counters", 64)
+            yield from pe.barrier_all()
+            return (a.offset, b.offset, a.offset == b.offset)
+
+        report = run_spmd(main, n_pes=3)
+        offsets = {r[0] for r in report.results}
+        assert len(offsets) == 1       # symmetric across PEs
+        assert all(r[2] for r in report.results)  # stable per PE
+
+    def test_statics_usable_for_puts(self):
+        def main(pe):
+            flags = yield from pe.static_array("flags", 4, np.int64)
+            pe.write_symmetric(flags, np.zeros(4, dtype=np.int64))
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            yield from pe.p(flags, pe.my_pe() + 1, right)
+            yield from pe.barrier_all()
+            left = (pe.my_pe() - 1) % pe.num_pes()
+            return int(pe.read_symmetric_array(flags, 1, np.int64)[0]) \
+                == left + 1
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_redeclare_larger_rejected(self):
+        def main(pe):
+            yield from pe.static_symmetric("x", 64)
+            try:
+                yield from pe.static_symmetric("x", 128)
+            except ShmemError:
+                result = True
+            else:
+                result = False
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_redeclare_smaller_reuses(self):
+        def main(pe):
+            a = yield from pe.static_symmetric("x", 128)
+            b = yield from pe.static_symmetric("x", 64)
+            yield from pe.barrier_all()
+            return a.offset == b.offset
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+
+class TestReplyWatchdog:
+    def test_disabled_by_default(self):
+        def main(pe):
+            sym = yield from pe.malloc(1024)
+            yield from pe.barrier_all()
+            data = yield from pe.get(sym, 1024, (pe.my_pe() + 1) % 3)
+            yield from pe.barrier_all()
+            return len(data)
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [1024] * 3
+
+    def test_generous_timeout_does_not_fire(self):
+        def main(pe):
+            sym = yield from pe.malloc(32 * 1024)
+            yield from pe.barrier_all()
+            data = yield from pe.get(sym, 32 * 1024, (pe.my_pe() + 2) % 3)
+            yield from pe.barrier_all()
+            return len(data)
+
+        report = run_spmd(
+            main, n_pes=3,
+            shmem_config=ShmemConfig(reply_timeout_us=10_000_000.0),
+        )
+        assert report.results == [32 * 1024] * 3
+
+    def test_impossible_timeout_raises(self):
+        """A 1 µs watchdog cannot be met by any remote get."""
+        def main(pe):
+            sym = yield from pe.malloc(1024)
+            yield from pe.barrier_all()
+            if pe.my_pe() == 0:
+                yield from pe.get(sym, 1024, 1)
+            yield from pe.barrier_all()
+
+        with pytest.raises(Exception, match="timed out"):
+            run_spmd(
+                main, n_pes=3,
+                shmem_config=ShmemConfig(reply_timeout_us=1.0),
+            )
+
+    def test_amo_timeout_raises(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            yield from pe.barrier_all()
+            if pe.my_pe() == 0:
+                yield from pe.atomic_fetch(cell, 1)
+            yield from pe.barrier_all()
+
+        with pytest.raises(Exception, match="timed out"):
+            run_spmd(
+                main, n_pes=3,
+                shmem_config=ShmemConfig(reply_timeout_us=1.0),
+            )

@@ -1,0 +1,268 @@
+"""Table I conformance: every essential OpenSHMEM API behaves per spec.
+
+The paper's Table I lists the essential routines; each test here exercises
+one of them end-to-end on the simulated 3-host ring:
+
+===========================  =============================================
+ Paper API                    This library
+===========================  =============================================
+ ``shmem_init()``             ``run_spmd`` / ``ShmemRuntime.initialize``
+ ``my_pe()``                  ``PE.my_pe()``
+ ``num_pes()``                ``PE.num_pes()``
+ ``shmem_malloc(size)``       ``PE.malloc(nbytes)``
+ ``shmem_TYPE_put(...)``      ``PE.put`` / ``PE.put_array`` / ``PE.p``
+ ``shmem_TYPE_get(...)``      ``PE.get`` / ``PE.get_array`` / ``PE.g``
+ ``shmem_barrier_all()``      ``PE.barrier_all()``
+ ``shmem_finalize()``         ``ShmemRuntime.finalize`` (run_spmd exit)
+===========================  =============================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Mode, run_spmd
+from repro.core import NotInitializedError, ShmemRuntime
+from repro.fabric import Cluster, ClusterConfig
+
+
+class TestInitFinalize:
+    def test_init_brings_up_links_and_service(self):
+        def main(pe):
+            assert pe.rt.initialized
+            assert set(pe.rt.links) == {"left", "right"}
+            assert pe.rt.service is not None
+            yield from pe.barrier_all()
+
+        run_spmd(main, n_pes=3)
+
+    def test_finalize_releases_resources(self):
+        report = run_spmd(lambda pe: iter(()), n_pes=3, finalize=True)
+        for runtime in report.runtimes:
+            assert not runtime.initialized
+            assert runtime.links == {}
+
+    def test_api_before_init_raises(self):
+        cluster = Cluster(ClusterConfig(n_hosts=3))
+        runtime = ShmemRuntime(cluster, 0)
+        with pytest.raises(NotInitializedError):
+            next(runtime.malloc(10))
+
+    def test_double_init_rejected(self):
+        def main(pe):
+            try:
+                yield from pe.rt.initialize()
+            except Exception as exc:
+                return type(exc).__name__
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "ShmemError" for r in report.results)
+
+
+class TestIdentity:
+    def test_my_pe_and_num_pes(self):
+        def main(pe):
+            yield from pe.barrier_all()
+            return (pe.my_pe(), pe.num_pes())
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestMalloc:
+    def test_symmetric_offsets_agree(self):
+        def main(pe):
+            a = yield from pe.malloc(128)
+            b = yield from pe.malloc(4096)
+            yield from pe.barrier_all()
+            return (a.offset, b.offset)
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results[0] == report.results[1] == report.results[2]
+
+    def test_free_and_reuse(self):
+        def main(pe):
+            a = yield from pe.malloc(128)
+            yield from pe.free(a)
+            b = yield from pe.malloc(128)
+            yield from pe.barrier_all()
+            return a.offset == b.offset
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_malloc_array_sized_by_dtype(self):
+        def main(pe):
+            arr = yield from pe.malloc_array(100, np.float64)
+            yield from pe.barrier_all()
+            return arr.nbytes
+
+        report = run_spmd(main, n_pes=3)
+        assert all(n == 800 for n in report.results)
+
+
+class TestPut:
+    def test_typed_put_to_neighbor(self):
+        def main(pe):
+            dest = yield from pe.malloc_array(32, np.float64)
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            values = np.linspace(0, 1, 32) + pe.my_pe()
+            yield from pe.put_array(dest, values, right)
+            yield from pe.barrier_all()
+            got = pe.read_symmetric_array(dest, 32, np.float64)
+            left = (pe.my_pe() - 1) % pe.num_pes()
+            return np.allclose(got, np.linspace(0, 1, 32) + left)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_single_element_p(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            yield from pe.p(cell, pe.my_pe() * 11, right)
+            yield from pe.barrier_all()
+            left = (pe.my_pe() - 1) % pe.num_pes()
+            return pe.read_symmetric_array(cell, 1, np.int64)[0] == left * 11
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_put_is_locally_blocking_not_remote(self):
+        """§II-B: put returns once the LOCAL buffer is reusable; remote
+        visibility needs a barrier.  The source buffer can be scribbled
+        immediately after put without corrupting the transfer."""
+        def main(pe):
+            dest = yield from pe.malloc(4096)
+            src = pe.local_alloc(4096)
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            src.write(np.full(4096, pe.my_pe() + 1, dtype=np.uint8))
+            yield from pe.put_from(dest, src, 4096, right)
+            src.write(np.full(4096, 0xEE, dtype=np.uint8))  # scribble
+            yield from pe.barrier_all()
+            left = (pe.my_pe() - 1) % pe.num_pes()
+            got = pe.read_symmetric(dest, 4096)
+            return bool((got == left + 1).all())
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_put_to_self(self):
+        def main(pe):
+            dest = yield from pe.malloc(64)
+            yield from pe.put(dest, np.full(64, 9, dtype=np.uint8),
+                              pe.my_pe())
+            yield from pe.barrier_all()
+            return bool((pe.read_symmetric(dest, 64) == 9).all())
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_put_bad_pe_rejected(self):
+        def main(pe):
+            dest = yield from pe.malloc(64)
+            try:
+                yield from pe.put(dest, b"x" * 8, 99)
+            except Exception as exc:
+                result = type(exc).__name__
+            else:
+                result = "no-error"
+            yield from pe.barrier_all()
+            return result
+
+        report = run_spmd(main, n_pes=3)
+        assert all(r == "BadPeError" for r in report.results)
+
+
+class TestGet:
+    def test_typed_get_roundtrip(self):
+        def main(pe):
+            src = yield from pe.malloc_array(16, np.int32)
+            pe.write_symmetric(
+                src, (np.arange(16, dtype=np.int32) * (pe.my_pe() + 1))
+            )
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            got = yield from pe.get_array(src, 16, np.int32, right)
+            yield from pe.barrier_all()
+            expect = np.arange(16, dtype=np.int32) * (right + 1)
+            return np.array_equal(got, expect)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_single_element_g(self):
+        def main(pe):
+            cell = yield from pe.malloc(8)
+            pe.write_symmetric(
+                cell, np.array([pe.my_pe() * 7], dtype=np.int64)
+            )
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            value = yield from pe.g(cell, right)
+            yield from pe.barrier_all()
+            return value == right * 7
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    def test_get_is_blocking(self):
+        """Get returns with the data in hand — usable immediately."""
+        def main(pe):
+            src = yield from pe.malloc(1024)
+            pe.write_symmetric(
+                src, np.full(1024, pe.my_pe() + 0x30, dtype=np.uint8)
+            )
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            data = yield from pe.get(src, 1024, right)
+            ok = bool((data == right + 0x30).all())
+            yield from pe.barrier_all()
+            return ok
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+
+class TestBarrierAll:
+    def test_barrier_synchronizes_visibility(self):
+        def main(pe):
+            flag = yield from pe.malloc(8)
+            pe.write_symmetric(flag, np.zeros(1, dtype=np.int64))
+            yield from pe.barrier_all()
+            right = (pe.my_pe() + 1) % pe.num_pes()
+            yield from pe.p(flag, 1, right)
+            yield from pe.barrier_all()
+            # After the barrier, every PE must see its neighbor's flag.
+            return int(pe.read_symmetric_array(flag, 1, np.int64)[0])
+
+        report = run_spmd(main, n_pes=3)
+        assert report.results == [1, 1, 1]
+
+    def test_many_consecutive_barriers(self):
+        def main(pe):
+            for _ in range(10):
+                yield from pe.barrier_all()
+            return True
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)
+
+    @pytest.mark.parametrize("mode", [Mode.DMA, Mode.MEMCPY])
+    def test_barrier_flushes_multihop_put(self, mode):
+        """The critical ordering property: a 2-hop put is fully delivered
+        once every PE exits the barrier (token flush semantics)."""
+        def main(pe):
+            dest = yield from pe.malloc(128 * 1024)
+            two_away = (pe.my_pe() + 2) % pe.num_pes()
+            data = np.full(128 * 1024, pe.my_pe() + 1, dtype=np.uint8)
+            yield from pe.put(dest, data, two_away, mode=mode)
+            yield from pe.barrier_all()
+            sender = (pe.my_pe() - 2) % pe.num_pes()
+            return bool(
+                (pe.read_symmetric(dest, 128 * 1024) == sender + 1).all()
+            )
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)

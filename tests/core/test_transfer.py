@@ -1,0 +1,143 @@
+"""Unit tests for the wire protocol: message codec and payload sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Mode, MsgKind, ProtocolError, TransferError
+from repro.core.transfer import (
+    DOORBELL_AMO,
+    DOORBELL_DMAGET,
+    DOORBELL_DMAPUT,
+    Message,
+    PayloadSource,
+    SLOT_HEADER_BYTES,
+    chunk_ranges,
+    pack_header_bytes,
+    pack_message,
+    unpack_header_bytes,
+    unpack_message,
+)
+from repro.host import Host
+
+from ..conftest import pattern
+
+
+class TestMessageCodec:
+    def test_roundtrip_all_fields(self):
+        msg = Message(
+            kind=MsgKind.PUT_DATA, mode=Mode.MEMCPY,
+            src_pe=3, dest_pe=7, offset=0x1234_5678,
+            size=0xABCD_EF01, aux=0xDEAD_BEEF, seq=200,
+        )
+        assert unpack_message(pack_message(msg)) == msg
+
+    @pytest.mark.parametrize("kind", list(MsgKind))
+    def test_roundtrip_every_kind(self, kind):
+        msg = Message(kind=kind, mode=Mode.DMA, src_pe=0, dest_pe=1,
+                      offset=0, size=64, aux=1, seq=1)
+        assert unpack_message(pack_message(msg)).kind is kind
+
+    def test_header_bytes_roundtrip(self):
+        msg = Message(kind=MsgKind.PUT_FWD, mode=Mode.DMA, src_pe=1,
+                      dest_pe=2, offset=99, size=1000, aux=5, seq=9)
+        raw = pack_header_bytes(msg)
+        assert len(raw) == SLOT_HEADER_BYTES
+        assert unpack_header_bytes(np.frombuffer(raw, np.uint8)) == msg
+
+    def test_bad_kind_rejected_on_unpack(self):
+        with pytest.raises(ProtocolError):
+            unpack_message((0xF << 28, 0, 0, 0))
+
+    def test_wrong_reg_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_message((0, 0, 0))
+
+    def test_field_limits_enforced(self):
+        with pytest.raises(ProtocolError):
+            Message(kind=MsgKind.PUT_DATA, mode=Mode.DMA, src_pe=256,
+                    dest_pe=0, offset=0, size=1)
+        with pytest.raises(ProtocolError):
+            Message(kind=MsgKind.PUT_DATA, mode=Mode.DMA, src_pe=0,
+                    dest_pe=0, offset=2**32, size=1)
+
+    def test_doorbell_bit_mapping(self):
+        assert MsgKind.PUT_DATA.doorbell_bit == DOORBELL_DMAPUT
+        assert MsgKind.PUT_FWD.doorbell_bit == DOORBELL_DMAPUT
+        assert MsgKind.GET_REQ.doorbell_bit == DOORBELL_DMAGET
+        assert MsgKind.GET_RESP.doorbell_bit == DOORBELL_DMAGET
+        assert MsgKind.AMO_REQ.doorbell_bit == DOORBELL_AMO
+
+    def test_payload_classification(self):
+        assert MsgKind.PUT_DATA.carries_payload
+        assert MsgKind.GET_RESP.carries_payload
+        assert not MsgKind.GET_REQ.carries_payload
+        assert not MsgKind.BARRIER_MSG.carries_payload
+
+
+class TestPayloadSource:
+    def test_user_payload_segments_per_page(self, env):
+        host = Host(env, 0)
+        buffer = host.mmap(16 * 1024)
+        payload = PayloadSource.from_user(host, buffer.virt, 16 * 1024)
+        assert len(payload.segments()) == 4
+
+    def test_pinned_payload_single_segment(self, env):
+        host = Host(env, 0)
+        pinned = host.alloc_pinned(16 * 1024)
+        payload = PayloadSource.from_pinned(host, pinned, 0, 16 * 1024)
+        assert len(payload.segments()) == 1
+
+    def test_data_reads_bytes(self, env):
+        host = Host(env, 0)
+        buffer = host.mmap(4096)
+        data = pattern(4096)
+        host.write_user(buffer.virt, data)
+        payload = PayloadSource.from_user(host, buffer.virt, 4096)
+        assert np.array_equal(payload.data(), data)
+
+    def test_pinned_offset_window(self, env):
+        host = Host(env, 0)
+        pinned = host.alloc_pinned(4096)
+        data = pattern(4096, seed=4)
+        host.memory.write(pinned.phys, data)
+        payload = PayloadSource.from_pinned(host, pinned, 100, 200)
+        assert np.array_equal(payload.data(), data[100:300])
+
+    def test_overrun_rejected(self, env):
+        host = Host(env, 0)
+        pinned = host.alloc_pinned(1024)
+        # DRAM granularity rounds the allocation up to a page.
+        with pytest.raises(TransferError):
+            PayloadSource.from_pinned(host, pinned, pinned.nbytes - 50, 100)
+
+    def test_requires_exactly_one_source(self, env):
+        host = Host(env, 0)
+        with pytest.raises(TransferError):
+            PayloadSource(host, nbytes=10)
+
+    def test_zero_size_rejected(self, env):
+        host = Host(env, 0)
+        with pytest.raises(TransferError):
+            PayloadSource.from_user(host, 0, 0)
+
+
+class TestChunkRanges:
+    def test_exact_division(self):
+        assert list(chunk_ranges(100, 25)) == [
+            (0, 25), (25, 25), (50, 25), (75, 25)
+        ]
+
+    def test_remainder(self):
+        assert list(chunk_ranges(10, 4)) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_single_chunk(self):
+        assert list(chunk_ranges(3, 100)) == [(0, 3)]
+
+    def test_zero_total(self):
+        assert list(chunk_ranges(0, 8)) == []
+
+    def test_invalid_chunk(self):
+        with pytest.raises(TransferError):
+            list(chunk_ranges(10, 0))

@@ -1,0 +1,172 @@
+"""Tests for link severing and the ScratchPad heartbeat monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fabric import Direction, HeartbeatMonitor, LinkState
+from repro.ntb import DATA_WINDOW
+from repro.ntb.dma import LinkDownError
+
+from ..conftest import pattern, run_to_completion
+
+
+def wire_raw_link(cluster, src=0, dst=1, nbytes=1 << 20):
+    src_drv = cluster.driver(src, Direction.RIGHT)
+    dst_drv = cluster.driver(dst, Direction.LEFT)
+    rx = cluster.host(dst).alloc_pinned(nbytes)
+    dst_drv.endpoint.program_incoming(DATA_WINDOW, rx.phys, rx.nbytes)
+    dst_drv.endpoint.lut.add(src_drv.requester_id, dst)
+    src_drv.endpoint.lut.add(dst_drv.requester_id, src)
+    return src_drv, dst_drv, rx
+
+
+class TestSeveredLink:
+    def test_posted_writes_silently_dropped(self, ring3):
+        src_drv, _dst_drv, rx = wire_raw_link(ring3)
+        cable = ring3.cable_between(0, 1)
+        cable.sever()
+        src_drv.endpoint.window_write_functional(
+            DATA_WINDOW, 0, pattern(64)
+        )
+        # Destination memory untouched.
+        assert int(ring3.host(1).memory.read(rx.phys, 64).sum()) == 0
+
+    def test_reads_return_all_ones(self, ring3):
+        src_drv, _dst_drv, _rx = wire_raw_link(ring3)
+        ring3.cable_between(0, 1).sever()
+        data = src_drv.endpoint.window_read_functional(DATA_WINDOW, 0, 16)
+        assert (data == 0xFF).all()
+
+    def test_doorbell_rings_dropped(self, ring3):
+        src_drv, dst_drv, _rx = wire_raw_link(ring3)
+        hits = []
+        dst_drv.request_irq(0, lambda bit: hits.append(bit))
+        ring3.cable_between(0, 1).sever()
+
+        def ring():
+            yield from src_drv.ring_doorbell(0)
+
+        run_to_completion(ring3.env, ring())
+        ring3.env.run()
+        assert hits == []
+
+    def test_spad_semantics_when_down(self, ring3):
+        src_drv, _dst_drv, _rx = wire_raw_link(ring3)
+        ring3.cable_between(0, 1).sever()
+
+        def io():
+            yield from src_drv.spad_write(0, 0x1234)
+            value = yield from src_drv.spad_read(0)
+            return value
+
+        [value] = run_to_completion(ring3.env, io())
+        assert value == 0xFFFFFFFF
+
+    def test_dma_fails_request_but_engine_survives(self, ring3):
+        src_drv, _dst_drv, rx = wire_raw_link(ring3)
+        host0 = ring3.host(0)
+        tx = host0.alloc_pinned(64 * 1024)
+        cable = ring3.cable_between(0, 1)
+
+        def scenario():
+            cable.sever()
+            request = yield from src_drv.dma_write_segments(
+                DATA_WINDOW, 0, [tx.segment]
+            )
+            try:
+                yield request.done
+                return "completed"
+            except LinkDownError:
+                pass
+            # Re-plug and prove the engine still serves requests.
+            cable.restore()
+            request = yield from src_drv.dma_write_segments(
+                DATA_WINDOW, 0, [tx.segment]
+            )
+            yield request.done
+            return "recovered"
+
+        [result] = run_to_completion(ring3.env, scenario())
+        assert result == "recovered"
+        assert src_drv.endpoint.dma.failed_requests == 1
+
+    def test_restore_resumes_traffic(self, ring3):
+        src_drv, _dst_drv, rx = wire_raw_link(ring3)
+        cable = ring3.cable_between(0, 1)
+        cable.sever()
+        cable.restore()
+        data = pattern(256, seed=3)
+        src_drv.endpoint.window_write_functional(DATA_WINDOW, 0, data)
+        assert np.array_equal(ring3.host(1).memory.read(rx.phys, 256), data)
+
+
+class TestHeartbeat:
+    def _pair(self, ring3):
+        return (
+            HeartbeatMonitor(ring3.driver(0, Direction.RIGHT),
+                             period_us=500.0, miss_threshold=3),
+            HeartbeatMonitor(ring3.driver(1, Direction.LEFT),
+                             period_us=500.0, miss_threshold=3),
+        )
+
+    def test_both_sides_see_alive(self, ring3):
+        mon_a, mon_b = self._pair(ring3)
+        mon_a.start()
+        mon_b.start()
+        ring3.env.run(until=5_000.0)
+        assert mon_a.state is LinkState.ALIVE
+        assert mon_b.state is LinkState.ALIVE
+        assert mon_a.beats_seen >= 5
+
+    def test_severed_cable_detected_within_threshold(self, ring3):
+        mon_a, mon_b = self._pair(ring3)
+        mon_a.start()
+        mon_b.start()
+        ring3.env.run(until=3_000.0)
+        assert mon_a.state is LinkState.ALIVE
+        ring3.cable_between(0, 1).sever()
+        # 3 missed 500 us periods -> dead by ~1.5-2.5 ms later.
+        ring3.env.run(until=7_000.0)
+        assert mon_a.state is LinkState.DEAD
+        assert mon_b.state is LinkState.DEAD
+
+    def test_state_change_signal_fires(self, ring3):
+        mon_a, mon_b = self._pair(ring3)
+        transitions = []
+
+        def watcher():
+            while len(transitions) < 2:
+                state = yield mon_a.wait_state_change()
+                transitions.append(state)
+
+        ring3.env.process(watcher())
+        mon_a.start()
+        mon_b.start()
+        ring3.env.run(until=2_000.0)
+        ring3.cable_between(0, 1).sever()
+        ring3.env.run(until=10_000.0)
+        assert transitions == [LinkState.ALIVE, LinkState.DEAD]
+
+    def test_recovery_after_restore(self, ring3):
+        mon_a, mon_b = self._pair(ring3)
+        mon_a.start()
+        mon_b.start()
+        cable = ring3.cable_between(0, 1)
+        ring3.env.run(until=2_000.0)
+        cable.sever()
+        ring3.env.run(until=8_000.0)
+        assert mon_a.state is LinkState.DEAD
+        cable.restore()
+        ring3.env.run(until=12_000.0)
+        assert mon_a.state is LinkState.ALIVE
+        mon_a.stop()
+        mon_b.stop()
+
+    def test_parameter_validation(self, ring3):
+        driver = ring3.driver(0, Direction.RIGHT)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(driver, period_us=0)
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(driver, miss_threshold=0)

@@ -1,0 +1,103 @@
+"""Unit tests for topology math and routing policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import (
+    ChainTopology,
+    Direction,
+    RingTopology,
+    RoutingPolicy,
+    TopologyError,
+)
+
+
+class TestRing:
+    def test_neighbors_wrap(self):
+        ring = RingTopology(3)
+        assert ring.neighbor(2, Direction.RIGHT) == 0
+        assert ring.neighbor(0, Direction.LEFT) == 2
+
+    def test_hops_each_direction(self):
+        ring = RingTopology(5)
+        assert ring.hops(0, 2, Direction.RIGHT) == 2
+        assert ring.hops(0, 2, Direction.LEFT) == 3
+        assert ring.hops(4, 0, Direction.RIGHT) == 1
+
+    def test_links_count(self):
+        assert len(list(RingTopology(4).links())) == 4
+
+    def test_fixed_right_always_right(self):
+        ring = RingTopology(5)
+        route = ring.route(0, 4, RoutingPolicy.FIXED_RIGHT)
+        assert route.direction is Direction.RIGHT
+        assert route.hops == 4
+
+    def test_shortest_picks_min(self):
+        ring = RingTopology(5)
+        route = ring.route(0, 4, RoutingPolicy.SHORTEST)
+        assert route.direction is Direction.LEFT
+        assert route.hops == 1
+
+    def test_shortest_tie_breaks_right(self):
+        ring = RingTopology(4)
+        route = ring.route(0, 2, RoutingPolicy.SHORTEST)
+        assert route.direction is Direction.RIGHT
+        assert route.hops == 2
+
+    def test_route_to_self_rejected(self):
+        with pytest.raises(TopologyError):
+            RingTopology(3).route(1, 1)
+
+    def test_bad_host_id(self):
+        with pytest.raises(TopologyError):
+            RingTopology(3).route(0, 3)
+        with pytest.raises(TopologyError):
+            RingTopology(3).neighbor(-1, Direction.RIGHT)
+
+    def test_min_size(self):
+        with pytest.raises(TopologyError):
+            RingTopology(1)
+
+    def test_two_host_ring(self):
+        ring = RingTopology(2)
+        assert ring.hops(0, 1, Direction.RIGHT) == 1
+        assert ring.hops(0, 1, Direction.LEFT) == 1
+        route = ring.route(0, 1, RoutingPolicy.SHORTEST)
+        assert route.hops == 1
+
+
+class TestChain:
+    def test_ends_have_no_neighbor(self):
+        chain = ChainTopology(3)
+        assert chain.neighbor(0, Direction.LEFT) is None
+        assert chain.neighbor(2, Direction.RIGHT) is None
+        assert chain.neighbor(1, Direction.RIGHT) == 2
+
+    def test_hops_directional(self):
+        chain = ChainTopology(4)
+        assert chain.hops(0, 3, Direction.RIGHT) == 3
+        assert chain.hops(0, 3, Direction.LEFT) is None
+        assert chain.hops(3, 1, Direction.LEFT) == 2
+
+    def test_links_count(self):
+        assert len(list(ChainTopology(4).links())) == 3
+
+    def test_fixed_right_falls_back_left(self):
+        chain = ChainTopology(4)
+        route = chain.route(3, 0, RoutingPolicy.FIXED_RIGHT)
+        assert route.direction is Direction.LEFT
+        assert route.hops == 3
+
+    def test_shortest_on_chain(self):
+        chain = ChainTopology(4)
+        route = chain.route(1, 3, RoutingPolicy.SHORTEST)
+        assert route.direction is Direction.RIGHT
+        assert route.hops == 2
+
+
+class TestDirection:
+    def test_opposite(self):
+        assert Direction.RIGHT.opposite is Direction.LEFT
+        assert Direction.LEFT.opposite is Direction.RIGHT

@@ -1,0 +1,34 @@
+"""Tests for the `python -m repro.bench` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+
+
+class TestBenchCli:
+    def test_quick_run_exits_zero(self, capsys):
+        assert bench_main([]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 9(a)" in out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_json_export(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.json"
+        assert bench_main(["--json", str(out_file)]) == 0
+        rows = json.loads(out_file.read_text())
+        assert len(rows) > 50
+        sample = rows[0]
+        assert {"experiment", "series", "size", "value", "unit"} <= \
+            set(sample)
+
+    def test_help_mentions_full_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            bench_main(["--help"])
+        out = capsys.readouterr().out
+        assert "--full" in out
+        assert "--ablations" in out

@@ -1,0 +1,58 @@
+"""Tests for running multiple SPMD jobs on one cluster (finalize/re-init)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.core.program import make_cluster
+
+from ..conftest import pattern
+
+
+class TestSequentialJobs:
+    def test_two_jobs_same_cluster(self):
+        """finalize must release windows, buffers and IRQ vectors so a
+        fresh set of runtimes can initialize on the same hardware."""
+        cluster = make_cluster(3)
+
+        def job(tag):
+            def main(pe):
+                sym = yield from pe.malloc(4096)
+                right = (pe.my_pe() + 1) % pe.num_pes()
+                yield from pe.put(sym, pattern(4096, seed=tag), right)
+                yield from pe.barrier_all()
+                return bool(np.array_equal(
+                    pe.read_symmetric(sym, 4096),
+                    pattern(4096, seed=tag),
+                ))
+            return main
+
+        first = run_spmd(job(1), n_pes=3, cluster=cluster, finalize=True)
+        second = run_spmd(job(2), n_pes=3, cluster=cluster, finalize=True)
+        assert all(first.results) and all(second.results)
+        # Virtual time carried across jobs (same environment).
+        assert second.elapsed_us > first.elapsed_us
+
+    def test_dram_fully_reclaimed_between_jobs(self):
+        cluster = make_cluster(3)
+
+        def noop(pe):
+            yield from pe.barrier_all()
+
+        used_baseline = [h.dram.used_bytes for h in cluster.hosts]
+        run_spmd(noop, n_pes=3, cluster=cluster, finalize=True)
+        used_after = [h.dram.used_bytes for h in cluster.hosts]
+        assert used_after == used_baseline
+
+    def test_finalized_runtime_rejects_ops(self):
+        cluster = make_cluster(3)
+
+        def noop(pe):
+            yield from pe.barrier_all()
+
+        report = run_spmd(noop, n_pes=3, cluster=cluster, finalize=True)
+        runtime = report.runtimes[0]
+        with pytest.raises(Exception, match="finalized"):
+            next(runtime.malloc(64))

@@ -1,0 +1,164 @@
+"""Unit tests for the physical memory model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    AccessFault,
+    MemoryError_,
+    PhysicalMemory,
+    Region,
+    copy_between,
+)
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", 0x100, 0x100)
+        assert region.contains(0x100)
+        assert region.contains(0x1FF)
+        assert not region.contains(0x200)
+        assert region.contains(0x180, 0x80)
+        assert not region.contains(0x180, 0x81)
+
+    def test_overlaps(self):
+        a = Region("a", 0, 100)
+        assert a.overlaps(Region("b", 50, 100))
+        assert not a.overlaps(Region("c", 100, 50))
+
+    def test_offset_of(self):
+        region = Region("r", 0x1000, 0x100)
+        assert region.offset_of(0x1010) == 0x10
+        with pytest.raises(AccessFault):
+            region.offset_of(0x0FFF)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Region("bad", -1, 10)
+
+
+class TestPhysicalMemory:
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory(4096)
+        data = np.arange(100, dtype=np.uint8)
+        assert mem.write(10, data) == 100
+        assert np.array_equal(mem.read(10, 100), data)
+
+    def test_bytes_interface(self):
+        mem = PhysicalMemory(4096)
+        mem.write(0, b"hello world")
+        assert mem.read_bytes(0, 11) == b"hello world"
+
+    def test_poison_fill(self):
+        mem = PhysicalMemory(64, fill=0xAA)
+        assert mem.read_bytes(0, 4) == b"\xaa\xaa\xaa\xaa"
+
+    def test_out_of_bounds_read(self):
+        mem = PhysicalMemory(100)
+        with pytest.raises(AccessFault):
+            mem.read(90, 20)
+
+    def test_out_of_bounds_write(self):
+        mem = PhysicalMemory(100)
+        with pytest.raises(AccessFault):
+            mem.write(99, b"ab")
+
+    def test_negative_address(self):
+        mem = PhysicalMemory(100)
+        with pytest.raises(AccessFault):
+            mem.read(-1, 2)
+
+    def test_view_is_mutable_alias(self):
+        mem = PhysicalMemory(256)
+        view = mem.view(0, 16)
+        view[:] = 7
+        assert mem.read_bytes(0, 3) == b"\x07\x07\x07"
+
+    def test_read_is_a_copy(self):
+        mem = PhysicalMemory(256)
+        copy = mem.read(0, 16)
+        copy[:] = 9
+        assert mem.read_bytes(0, 1) == b"\x00"
+
+    def test_u32_roundtrip(self):
+        mem = PhysicalMemory(64)
+        mem.write_u32(8, 0xDEADBEEF)
+        assert mem.read_u32(8) == 0xDEADBEEF
+
+    def test_u32_truncates_to_32bits(self):
+        mem = PhysicalMemory(64)
+        mem.write_u32(0, 0x1_0000_0001)
+        assert mem.read_u32(0) == 1
+
+    def test_u64_roundtrip(self):
+        mem = PhysicalMemory(64)
+        mem.write_u64(16, 0x0123456789ABCDEF)
+        assert mem.read_u64(16) == 0x0123456789ABCDEF
+
+    def test_fill(self):
+        mem = PhysicalMemory(64)
+        mem.fill(4, 8, 0x5A)
+        assert mem.read_bytes(4, 8) == b"\x5a" * 8
+        assert mem.read_bytes(3, 1) == b"\x00"
+
+    def test_copy_within_overlapping(self):
+        mem = PhysicalMemory(64)
+        mem.write(0, bytes(range(16)))
+        mem.copy_within(0, 4, 12)  # overlap forward
+        assert mem.read_bytes(4, 12) == bytes(range(12))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+
+
+class TestRegions:
+    def test_add_and_lookup(self):
+        mem = PhysicalMemory(1 << 16)
+        region = mem.add_region("window", 0x1000, 0x1000)
+        assert mem.region("window") is region
+
+    def test_overlap_rejected(self):
+        mem = PhysicalMemory(1 << 16)
+        mem.add_region("a", 0, 0x2000)
+        with pytest.raises(AccessFault):
+            mem.add_region("b", 0x1000, 0x1000)
+
+    def test_overlap_allowed_when_requested(self):
+        mem = PhysicalMemory(1 << 16)
+        mem.add_region("a", 0, 0x2000)
+        mem.add_region("b", 0x1000, 0x1000, allow_overlap=True)
+
+    def test_duplicate_name_rejected(self):
+        mem = PhysicalMemory(1 << 16)
+        mem.add_region("a", 0, 0x100)
+        with pytest.raises(MemoryError_):
+            mem.add_region("a", 0x200, 0x100)
+
+    def test_region_beyond_memory_rejected(self):
+        mem = PhysicalMemory(0x1000)
+        with pytest.raises(AccessFault):
+            mem.add_region("big", 0x800, 0x1000)
+
+    def test_missing_region(self):
+        mem = PhysicalMemory(0x1000)
+        with pytest.raises(MemoryError_):
+            mem.region("ghost")
+
+
+class TestCopyBetween:
+    def test_cross_memory_copy(self):
+        src = PhysicalMemory(4096)
+        dst = PhysicalMemory(4096)
+        data = np.random.default_rng(1).integers(
+            0, 256, 512).astype(np.uint8)
+        src.write(100, data)
+        copy_between(src, 100, dst, 200, 512)
+        assert np.array_equal(dst.read(200, 512), data)
+
+    def test_cross_memory_bounds_checked(self):
+        src, dst = PhysicalMemory(128), PhysicalMemory(128)
+        with pytest.raises(AccessFault):
+            copy_between(src, 0, dst, 120, 16)

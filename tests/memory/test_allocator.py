@@ -1,0 +1,154 @@
+"""Unit tests for the first-fit region allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import AllocationError, RegionAllocator
+
+
+class TestBasicAllocation:
+    def test_first_fit_from_base(self):
+        alloc = RegionAllocator(0x1000, 0x1000)
+        block = alloc.alloc(256)
+        assert block.base == 0x1000
+        assert block.size == 256
+
+    def test_sequential_allocations_are_adjacent(self):
+        alloc = RegionAllocator(0, 4096, granularity=16)
+        a = alloc.alloc(100)  # rounds to 112
+        b = alloc.alloc(100)
+        assert b.base == a.end
+
+    def test_granularity_rounding(self):
+        alloc = RegionAllocator(0, 4096, granularity=64)
+        block = alloc.alloc(1)
+        assert block.size == 64
+
+    def test_alignment(self):
+        alloc = RegionAllocator(0, 1 << 16, granularity=16)
+        alloc.alloc(48)
+        aligned = alloc.alloc(64, alignment=4096)
+        assert aligned.base % 4096 == 0
+
+    def test_exhaustion_raises(self):
+        alloc = RegionAllocator(0, 256, granularity=16)
+        alloc.alloc(256)
+        with pytest.raises(AllocationError):
+            alloc.alloc(16)
+
+    def test_zero_size_rejected(self):
+        alloc = RegionAllocator(0, 256)
+        with pytest.raises(AllocationError):
+            alloc.alloc(0)
+
+    def test_bad_alignment_rejected(self):
+        alloc = RegionAllocator(0, 256)
+        with pytest.raises(AllocationError):
+            alloc.alloc(16, alignment=3)
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            RegionAllocator(0, 256, granularity=24)
+
+
+class TestFreeAndCoalesce:
+    def test_free_returns_space(self):
+        alloc = RegionAllocator(0, 1024, granularity=16)
+        block = alloc.alloc(1024)
+        assert alloc.free_bytes == 0
+        alloc.free(block)
+        assert alloc.free_bytes == 1024
+
+    def test_double_free_raises(self):
+        alloc = RegionAllocator(0, 1024)
+        block = alloc.alloc(64)
+        alloc.free(block)
+        with pytest.raises(AllocationError):
+            alloc.free(block)
+
+    def test_free_unallocated_raises(self):
+        alloc = RegionAllocator(0, 1024)
+        with pytest.raises(AllocationError):
+            alloc.free(0x40)
+
+    def test_coalesce_with_next(self):
+        alloc = RegionAllocator(0, 1024, granularity=16)
+        a = alloc.alloc(512)
+        alloc.alloc(512)
+        alloc.free(a)
+        assert len(list(alloc.iter_free())) == 1
+
+    def test_coalesce_both_sides(self):
+        alloc = RegionAllocator(0, 3 * 64, granularity=16)
+        a = alloc.alloc(64)
+        b = alloc.alloc(64)
+        c = alloc.alloc(64)
+        alloc.free(a)
+        alloc.free(c)
+        assert len(list(alloc.iter_free())) == 2
+        alloc.free(b)  # merges everything
+        assert list(alloc.iter_free()) == [(0, 3 * 64)]
+
+    def test_reuse_after_free(self):
+        alloc = RegionAllocator(0, 1024, granularity=16)
+        block = alloc.alloc(256)
+        alloc.free(block)
+        again = alloc.alloc(256)
+        assert again.base == block.base
+
+    def test_fragmentation_then_large_alloc_fails(self):
+        alloc = RegionAllocator(0, 4 * 64, granularity=64)
+        blocks = [alloc.alloc(64) for _ in range(4)]
+        alloc.free(blocks[0])
+        alloc.free(blocks[2])
+        # 128 bytes free but no contiguous 128-byte block.
+        assert alloc.free_bytes == 128
+        with pytest.raises(AllocationError):
+            alloc.alloc(128)
+
+    def test_reset(self):
+        alloc = RegionAllocator(0, 1024)
+        alloc.alloc(128)
+        alloc.alloc(128)
+        alloc.reset()
+        assert alloc.free_bytes == 1024
+        assert alloc.live_allocations == 0
+
+
+class TestAccounting:
+    def test_used_plus_free_is_total(self):
+        alloc = RegionAllocator(0, 4096, granularity=16)
+        blocks = [alloc.alloc(100) for _ in range(5)]
+        assert alloc.used_bytes + alloc.free_bytes == 4096
+        for block in blocks[::2]:
+            alloc.free(block)
+        assert alloc.used_bytes + alloc.free_bytes == 4096
+        alloc.check_invariants()
+
+    def test_largest_free_block(self):
+        alloc = RegionAllocator(0, 1024, granularity=16)
+        assert alloc.largest_free_block() == 1024
+        alloc.alloc(1000)
+        assert alloc.largest_free_block() == 1024 - 1008
+
+    def test_determinism_across_instances(self):
+        """Identical op sequences give identical layouts — the foundation
+        of the symmetric heap's same-offset invariant."""
+
+        def run_ops(alloc: RegionAllocator):
+            log = []
+            live = []
+            for size in (100, 200, 50, 300, 20):
+                block = alloc.alloc(size)
+                live.append(block)
+                log.append((block.base, block.size))
+            alloc.free(live[1])
+            alloc.free(live[3])
+            block = alloc.alloc(180)
+            log.append((block.base, block.size))
+            return log
+
+        a = RegionAllocator(0, 1 << 16, granularity=16)
+        b = RegionAllocator(0, 1 << 16, granularity=16)
+        assert run_ops(a) == run_ops(b)

@@ -1,0 +1,135 @@
+"""Unit tests for virtual address spaces and the scatter/gather walker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    AccessFault,
+    PhysSegment,
+    PhysicalMemory,
+    VirtualAddressSpace,
+)
+
+
+@pytest.fixture
+def mem() -> PhysicalMemory:
+    return PhysicalMemory(1 << 20)
+
+
+@pytest.fixture
+def vas(mem) -> VirtualAddressSpace:
+    return VirtualAddressSpace(mem, page_size=4096)
+
+
+class TestMappings:
+    def test_translate(self, vas):
+        vas.map(0x10000, 0x500, 0x1000)
+        assert vas.translate(0x10000) == 0x500
+        assert vas.translate(0x10FFF) == 0x14FF
+
+    def test_unmapped_access_faults(self, vas):
+        with pytest.raises(AccessFault):
+            vas.translate(0xDEAD)
+
+    def test_access_past_mapping_end_faults(self, vas):
+        vas.map(0x10000, 0, 0x1000)
+        with pytest.raises(AccessFault):
+            vas.translate(0x11000)
+
+    def test_overlap_rejected(self, vas):
+        vas.map(0x10000, 0, 0x1000)
+        with pytest.raises(AccessFault):
+            vas.map(0x10800, 0x2000, 0x1000)
+        with pytest.raises(AccessFault):
+            vas.map(0x0F800, 0x2000, 0x1000)
+
+    def test_adjacent_mappings_allowed(self, vas):
+        vas.map(0x10000, 0x0000, 0x1000)
+        vas.map(0x11000, 0x8000, 0x1000)  # discontiguous physical!
+        assert vas.translate(0x10FFF) == 0x0FFF
+        assert vas.translate(0x11000) == 0x8000
+
+    def test_unmap(self, vas):
+        vas.map(0x10000, 0, 0x1000)
+        vas.unmap(0x10000)
+        with pytest.raises(AccessFault):
+            vas.translate(0x10000)
+
+    def test_unmap_missing_faults(self, vas):
+        with pytest.raises(AccessFault):
+            vas.unmap(0x123)
+
+    def test_physical_bounds_checked(self, vas, mem):
+        with pytest.raises(AccessFault):
+            vas.map(0, mem.size - 100, 0x1000)
+
+    def test_bad_page_size(self, mem):
+        with pytest.raises(ValueError):
+            VirtualAddressSpace(mem, page_size=1000)
+
+
+class TestSegmentWalks:
+    def test_extents_split_at_mapping_boundaries(self, vas):
+        vas.map(0x10000, 0x0000, 0x1000)
+        vas.map(0x11000, 0x8000, 0x1000)
+        segments = list(vas.extents(0x10800, 0x1000))
+        assert segments == [
+            PhysSegment(0x0800, 0x0800),
+            PhysSegment(0x8000, 0x0800),
+        ]
+
+    def test_phys_segments_split_at_pages(self, vas):
+        """One descriptor per 4 KiB page — the DMA cost driver."""
+        vas.map(0x10000, 0x0000, 0x4000)
+        segments = list(vas.phys_segments(0x10000, 0x4000))
+        assert len(segments) == 4
+        assert all(seg.nbytes == 4096 for seg in segments)
+
+    def test_phys_segments_unaligned_start(self, vas):
+        vas.map(0x10000, 0x100, 0x4000)  # physically unaligned
+        segments = list(vas.phys_segments(0x10000, 0x2000))
+        # 0x100..0x1000 (0xF00), 0x1000..0x2000, 0x2000..0x2100
+        assert [s.nbytes for s in segments] == [0xF00, 0x1000, 0x100]
+
+    def test_segments_cover_exactly(self, vas):
+        vas.map(0, 0x100, 0x10000)
+        total = sum(s.nbytes for s in vas.phys_segments(0x123, 0x7777))
+        assert total == 0x7777
+
+    def test_walk_faults_on_hole(self, vas):
+        vas.map(0x10000, 0, 0x1000)
+        vas.map(0x12000, 0x2000, 0x1000)  # hole at 0x11000
+        with pytest.raises(AccessFault):
+            list(vas.extents(0x10800, 0x1000))
+
+
+class TestDataAccess:
+    def test_scattered_write_read_roundtrip(self, vas):
+        """Virtually contiguous IO across physically scattered chunks."""
+        vas.map(0x10000, 0x0000, 0x1000)
+        vas.map(0x11000, 0x9000, 0x1000)
+        vas.map(0x12000, 0x3000, 0x1000)
+        data = (np.arange(0x3000) % 251).astype(np.uint8)
+        vas.write(0x10000, data)
+        assert np.array_equal(vas.read(0x10000, 0x3000), data)
+        # Verify it really scattered.
+        assert np.array_equal(
+            vas.memory.read(0x9000, 16), data[0x1000:0x1010]
+        )
+
+    def test_partial_write_at_offset(self, vas):
+        vas.map(0x10000, 0, 0x2000)
+        vas.write(0x10100, b"abcdef")
+        assert vas.read(0x10100, 6).tobytes() == b"abcdef"
+
+    def test_is_mapped(self, vas):
+        vas.map(0x10000, 0, 0x1000)
+        assert vas.is_mapped(0x10000, 0x1000)
+        assert not vas.is_mapped(0x10000, 0x1001)
+        assert not vas.is_mapped(0x20000)
+
+    def test_zero_size_mapping_rejected(self, vas):
+        with pytest.raises(ValueError):
+            vas.map(0, 0, 0)

@@ -1,0 +1,234 @@
+"""Unit tests for NtbEndpoint wiring, address resolution and data paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.host import CostModel, Host
+from repro.memory import PhysSegment
+from repro.ntb import (
+    BYPASS_WINDOW,
+    DATA_WINDOW,
+    LutError,
+    NtbEndpoint,
+    NtbError,
+    NtbPortConfig,
+    WindowError,
+    connect_endpoints,
+)
+from repro.sim import Environment
+
+from ..conftest import pattern, run_to_completion
+
+
+def make_pair(env):
+    """Two hosts with one endpoint each, cabled."""
+    h0, h1 = Host(env, 0), Host(env, 1)
+    e0 = NtbEndpoint(env, "h0.right")
+    e1 = NtbEndpoint(env, "h1.left")
+    e0.attach_host(h0.memory, h0.memory_port, requester_id=0x000)
+    e1.attach_host(h1.memory, h1.memory_port, requester_id=0x101)
+    cable = connect_endpoints(e0, e1)
+    return h0, h1, e0, e1, cable
+
+
+def wire_lut(e0, e1):
+    e0.lut.add(e1.requester_id, 1)
+    e1.lut.add(e0.requester_id, 0)
+
+
+class TestBringUp:
+    def test_connect_requires_attach(self, env):
+        a = NtbEndpoint(env, "a")
+        b = NtbEndpoint(env, "b")
+        with pytest.raises(NtbError):
+            connect_endpoints(a, b)
+
+    def test_double_connect_rejected(self, env):
+        h0, h1, e0, e1, _cable = make_pair(env)
+        e2 = NtbEndpoint(env, "x")
+        e2.attach_host(h0.memory, h0.memory_port, 0x3)
+        with pytest.raises(NtbError):
+            connect_endpoints(e0, e2)
+
+    def test_double_attach_rejected(self, env):
+        h0, _h1, e0, _e1, _ = make_pair(env)
+        with pytest.raises(NtbError):
+            e0.attach_host(h0.memory, h0.memory_port, 0x9)
+
+    def test_scratchpads_shared_after_connect(self, env):
+        _h0, _h1, e0, e1, _ = make_pair(env)
+        assert e0.spad_file() is e1.spad_file()
+
+    def test_spad_before_connect_raises(self, env):
+        e = NtbEndpoint(Environment(), "solo")
+        with pytest.raises(NtbError):
+            e.spad_file()
+
+    def test_window_config_validation(self):
+        with pytest.raises(ValueError):
+            NtbPortConfig(window_sizes=())
+        with pytest.raises(ValueError):
+            NtbPortConfig(window_sizes=(1000,))
+        with pytest.raises(ValueError):
+            NtbPortConfig(window_sizes=(4096, 4096, 4096))
+
+
+class TestAddressResolution:
+    def test_resolve_requires_lut_entry(self, env):
+        h0, h1, e0, e1, _ = make_pair(env)
+        e1.program_incoming(DATA_WINDOW, 0x1000, 0x1000)
+        with pytest.raises(LutError):
+            e0.resolve_peer(DATA_WINDOW, 0, 16)
+
+    def test_resolve_translates(self, env):
+        h0, h1, e0, e1, _ = make_pair(env)
+        wire_lut(e0, e1)
+        e1.program_incoming(DATA_WINDOW, 0x4000, 0x2000)
+        memory, phys, _port = e0.resolve_peer(DATA_WINDOW, 0x100, 64)
+        assert memory is h1.memory
+        assert phys == 0x4100
+
+    def test_resolve_unprogrammed_window_faults(self, env):
+        _h0, _h1, e0, e1, _ = make_pair(env)
+        wire_lut(e0, e1)
+        with pytest.raises(WindowError):
+            e0.resolve_peer(DATA_WINDOW, 0, 16)
+
+    def test_translation_larger_than_aperture_rejected(self, env):
+        _h0, h1, _e0, e1, _ = make_pair(env)
+        aperture = e1.outgoing[BYPASS_WINDOW].size
+        with pytest.raises(WindowError):
+            e1.program_incoming(BYPASS_WINDOW, 0, aperture * 2)
+
+    def test_translation_outside_dram_rejected(self, env):
+        _h0, h1, _e0, e1, _ = make_pair(env)
+        with pytest.raises(WindowError):
+            e1.program_incoming(DATA_WINDOW, h1.memory.size - 100, 0x1000)
+
+
+class TestFunctionalDataPath:
+    def test_window_write_lands_in_peer_memory(self, env):
+        h0, h1, e0, e1, _ = make_pair(env)
+        wire_lut(e0, e1)
+        e1.program_incoming(DATA_WINDOW, 0x8000, 0x4000)
+        data = pattern(256)
+        e0.window_write_functional(DATA_WINDOW, 0x10, data)
+        assert np.array_equal(h1.memory.read(0x8010, 256), data)
+
+    def test_window_read_pulls_from_peer(self, env):
+        h0, h1, e0, e1, _ = make_pair(env)
+        wire_lut(e0, e1)
+        e1.program_incoming(DATA_WINDOW, 0x8000, 0x4000)
+        data = pattern(128, seed=3)
+        h1.memory.write(0x8000, data)
+        got = e0.window_read_functional(DATA_WINDOW, 0, 128)
+        assert np.array_equal(got, data)
+
+    def test_doorbell_ring_crosses_link(self, env):
+        _h0, _h1, e0, e1, _ = make_pair(env)
+        fired = []
+        e1.doorbell.interrupt_sink = fired.append
+
+        def ringer():
+            yield from e0.ring_peer_doorbell(4)
+
+        run_to_completion(env, ringer())
+        assert fired == [4]
+        assert env.now > 0  # posting took link time
+
+    def test_ring_without_cable_raises(self, env):
+        e = NtbEndpoint(env, "solo")
+
+        def ringer():
+            yield from e.ring_peer_doorbell(0)
+
+        with pytest.raises(NtbError):
+            run_to_completion(env, ringer())
+
+
+class TestDmaThroughEndpoint:
+    def test_dma_write_moves_bytes_and_completes(self, env):
+        h0, h1, e0, e1, _ = make_pair(env)
+        wire_lut(e0, e1)
+        rx = h1.alloc_pinned(64 * 1024)
+        e1.program_incoming(DATA_WINDOW, rx.phys, rx.nbytes)
+        tx = h0.alloc_pinned(32 * 1024)
+        data = pattern(32 * 1024, seed=9)
+        h0.memory.write(tx.phys, data)
+
+        def xfer():
+            request = e0.dma_write(DATA_WINDOW, 0, [tx.segment])
+            yield request.done
+            return env.now
+
+        [end] = run_to_completion(env, xfer())
+        assert np.array_equal(h1.memory.read(rx.phys, 32 * 1024), data)
+        assert end > 20.0  # at least the setup time
+
+    def test_dma_read_pulls_bytes(self, env):
+        h0, h1, e0, e1, _ = make_pair(env)
+        wire_lut(e0, e1)
+        remote = h1.alloc_pinned(16 * 1024)
+        e1.program_incoming(DATA_WINDOW, remote.phys, remote.nbytes)
+        data = pattern(16 * 1024, seed=5)
+        h1.memory.write(remote.phys, data)
+        local = h0.alloc_pinned(16 * 1024)
+
+        def xfer():
+            request = e0.dma_read(DATA_WINDOW, 0, [local.segment])
+            yield request.done
+
+        run_to_completion(env, xfer())
+        assert np.array_equal(h0.memory.read(local.phys, 16 * 1024), data)
+
+    def test_dma_before_connect_raises(self, env):
+        host = Host(env, 0)
+        endpoint = NtbEndpoint(env, "solo")
+        endpoint.attach_host(host.memory, host.memory_port, 1)
+        with pytest.raises(RuntimeError):
+            endpoint.dma_write(DATA_WINDOW, 0, [PhysSegment(0, 64)])
+
+    def test_sg_list_gathers_in_order(self, env):
+        h0, h1, e0, e1, _ = make_pair(env)
+        wire_lut(e0, e1)
+        rx = h1.alloc_pinned(8192)
+        e1.program_incoming(DATA_WINDOW, rx.phys, rx.nbytes)
+        a = h0.alloc_pinned(4096)
+        b = h0.alloc_pinned(4096)
+        da, db = pattern(4096, seed=1), pattern(4096, seed=2)
+        h0.memory.write(a.phys, da)
+        h0.memory.write(b.phys, db)
+
+        def xfer():
+            # Deliberately out of physical order: b then a.
+            request = e0.dma_write(DATA_WINDOW, 0, [b.segment, a.segment])
+            yield request.done
+
+        run_to_completion(env, xfer())
+        assert np.array_equal(h1.memory.read(rx.phys, 4096), db)
+        assert np.array_equal(h1.memory.read(rx.phys + 4096, 4096), da)
+
+    def test_per_descriptor_cost_visible(self, env):
+        """Paged (many-segment) transfers are slower than pinned ones."""
+        h0, h1, e0, e1, _ = make_pair(env)
+        wire_lut(e0, e1)
+        rx = h1.alloc_pinned(256 * 1024)
+        e1.program_incoming(DATA_WINDOW, rx.phys, rx.nbytes)
+        pinned = h0.alloc_pinned(128 * 1024)
+        user = h0.mmap(128 * 1024)
+
+        times = {}
+
+        def xfer(tag, segments):
+            start = env.now
+            request = e0.dma_write(DATA_WINDOW, 0, segments)
+            yield request.done
+            times[tag] = env.now - start
+
+        run_to_completion(env, xfer("pinned", [pinned.segment]))
+        run_to_completion(
+            env, xfer("paged", h0.user_segments(user.virt, 128 * 1024))
+        )
+        assert times["paged"] > 2 * times["pinned"]

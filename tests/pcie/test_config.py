@@ -1,0 +1,129 @@
+"""Unit tests for config space / Type-0 header / BAR sizing protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pcie import BarKind, BarRegister, ConfigSpace, Type0Header
+from repro.pcie.config import (
+    COMMAND_BUS_MASTER,
+    COMMAND_MEMORY_ENABLE,
+    REG_BAR0,
+    REG_COMMAND,
+    REG_VENDOR_ID,
+)
+
+
+def make_header() -> Type0Header:
+    return Type0Header(
+        0x10B5, 0x8749,
+        bars=[
+            BarRegister(0, BarKind.MEM32, size=64 * 1024),
+            BarRegister(2, BarKind.MEM64, size=1 << 20, prefetchable=True),
+        ],
+    )
+
+
+class TestBarRegister:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BarRegister(0, BarKind.MEM32, size=1000)
+
+    def test_mem64_takes_two_slots(self):
+        assert BarRegister(2, BarKind.MEM64, size=4096).slots == 2
+        assert BarRegister(0, BarKind.MEM32, size=4096).slots == 1
+
+    def test_size_mask(self):
+        bar = BarRegister(0, BarKind.MEM32, size=64 * 1024)
+        assert bar.size_mask == 0xFFFF0000
+
+    def test_flag_bits(self):
+        mem64 = BarRegister(2, BarKind.MEM64, size=4096, prefetchable=True)
+        assert mem64.flag_bits == 0xC
+        io = BarRegister(1, BarKind.IO, size=256)
+        assert io.flag_bits == 0x1
+
+    def test_contains(self):
+        bar = BarRegister(0, BarKind.MEM32, size=4096)
+        bar.address = 0x8000
+        assert bar.contains(0x8000, 4096)
+        assert not bar.contains(0x7FFF)
+        assert not bar.contains(0x8000, 4097)
+
+
+class TestType0Header:
+    def test_too_many_bar_slots_rejected(self):
+        with pytest.raises(ValueError):
+            Type0Header(0, 0, bars=[
+                BarRegister(0, BarKind.MEM64, size=4096),
+                BarRegister(2, BarKind.MEM64, size=4096),
+                BarRegister(4, BarKind.MEM64, size=4096),
+                BarRegister(6, BarKind.MEM32, size=4096),  # 7th slot
+            ])
+
+    def test_decode_requires_memory_enable(self):
+        header = make_header()
+        header.bar_by_index(0).address = 0x10000
+        assert header.decode(0x10000) is None
+        header.command = COMMAND_MEMORY_ENABLE
+        assert header.decode(0x10000) is header.bar_by_index(0)
+
+    def test_decode_unclaimed_address(self):
+        header = make_header()
+        header.command = COMMAND_MEMORY_ENABLE
+        assert header.decode(0xDEAD0000) is None
+
+    def test_bar_by_index_missing(self):
+        with pytest.raises(KeyError):
+            make_header().bar_by_index(5)
+
+
+class TestConfigSpace:
+    def test_vendor_device_readback(self):
+        cs = ConfigSpace(make_header())
+        ident = cs.read32(REG_VENDOR_ID)
+        assert ident & 0xFFFF == 0x10B5
+        assert ident >> 16 == 0x8749
+
+    def test_command_write_enables(self):
+        cs = ConfigSpace(make_header())
+        cs.write32(REG_COMMAND, COMMAND_MEMORY_ENABLE | COMMAND_BUS_MASTER)
+        assert cs.header.memory_enabled
+        assert cs.header.bus_master_enabled
+
+    def test_bar_sizing_protocol(self):
+        cs = ConfigSpace(make_header())
+        # Write all-ones, read back the mask.
+        cs.write32(REG_BAR0, 0xFFFFFFFF)
+        raw = cs.read32(REG_BAR0)
+        size = (~(raw & 0xFFFFFFF0) & 0xFFFFFFFF) + 1
+        assert size == 64 * 1024
+        # Writing a real address exits sizing mode.
+        cs.write32(REG_BAR0, 0x80000000)
+        assert cs.read32(REG_BAR0) & 0xFFFFFFF0 == 0x80000000
+
+    def test_probe_helper_restores_address(self):
+        cs = ConfigSpace(make_header())
+        cs.write32(REG_BAR0, 0x40000000)
+        assert cs.probe_bar_size(0) == 64 * 1024
+        assert cs.read32(REG_BAR0) & 0xFFFFFFF0 == 0x40000000
+
+    def test_mem64_address_spans_two_slots(self):
+        cs = ConfigSpace(make_header())
+        bar2_off = REG_BAR0 + 4 * 2
+        cs.write32(bar2_off, 0x00100000)
+        cs.write32(bar2_off + 4, 0x0000000A)  # high half
+        bar = cs.header.bar_by_index(2)
+        assert bar.address == 0xA_0010_0000
+
+    def test_unwired_slot_reads_zero(self):
+        cs = ConfigSpace(make_header())
+        # Slot 5 is unused in this header layout (0, 2+3 used, 1/4/5 free).
+        assert cs.read32(REG_BAR0 + 4 * 5) == 0
+
+    def test_flags_visible_in_low_half(self):
+        cs = ConfigSpace(make_header())
+        bar2_off = REG_BAR0 + 4 * 2
+        raw = cs.read32(bar2_off)
+        assert raw & 0x4  # 64-bit flag
+        assert raw & 0x8  # prefetchable

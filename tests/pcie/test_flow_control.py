@@ -1,0 +1,101 @@
+"""Unit tests for the credit-based flow-control pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pcie import CREDIT_UNIT_BYTES, CreditConfig, CreditPool
+from repro.sim import Environment, SimulationError
+
+from ..conftest import run_to_completion
+
+
+class TestCreditMath:
+    def test_data_credits_round_up(self):
+        assert CreditPool.data_credits_for(1) == 1
+        assert CreditPool.data_credits_for(16) == 1
+        assert CreditPool.data_credits_for(17) == 2
+
+    def test_buffer_bytes(self):
+        config = CreditConfig(header_credits=8, data_credits=100)
+        assert config.buffer_bytes == 100 * CREDIT_UNIT_BYTES
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CreditConfig(header_credits=0)
+
+
+class TestAcquireRelease:
+    def test_immediate_grant_when_available(self, env):
+        pool = CreditPool(env, CreditConfig(header_credits=4,
+                                            data_credits=64))
+
+        def sender():
+            yield from pool.acquire(1, 256)
+            return env.now
+
+        [t] = run_to_completion(env, sender())
+        assert t == 0.0
+        assert pool.available_headers == 3
+        assert pool.available_data == 64 - 16
+
+    def test_blocks_until_release(self, env):
+        pool = CreditPool(env, CreditConfig(header_credits=1,
+                                            data_credits=64))
+        log = []
+
+        def hog():
+            yield from pool.acquire(1, 64)
+            yield env.timeout(10.0)
+            pool.release(1, 64)
+
+        def waiter():
+            yield env.timeout(1.0)
+            yield from pool.acquire(1, 64)
+            log.append(env.now)
+            pool.release(1, 64)
+
+        run_to_completion(env, hog(), waiter())
+        assert log == [10.0]
+        assert pool.stall_count == 1
+
+    def test_fifo_no_starvation(self, env):
+        """A large request at the queue head blocks later small ones."""
+        pool = CreditPool(env, CreditConfig(header_credits=10,
+                                            data_credits=100))
+        order = []
+
+        def initial_hog():
+            yield from pool.acquire(1, 90 * 16)
+
+        def big():
+            yield env.timeout(1.0)
+            yield from pool.acquire(1, 50 * 16)
+            order.append("big")
+
+        def small():
+            yield env.timeout(2.0)
+            yield from pool.acquire(1, 16)
+            order.append("small")
+
+        def releaser():
+            yield env.timeout(5.0)
+            pool.release(1, 90 * 16)
+
+        run_to_completion(env, initial_hog(), big(), small(), releaser())
+        assert order == ["big", "small"]
+
+    def test_impossible_request_rejected(self, env):
+        pool = CreditPool(env, CreditConfig(header_credits=2,
+                                            data_credits=4))
+
+        def bad():
+            yield from pool.acquire(1, 1000)
+
+        with pytest.raises(SimulationError):
+            run_to_completion(env, bad())
+
+    def test_over_release_detected(self, env):
+        pool = CreditPool(env, CreditConfig())
+        with pytest.raises(SimulationError):
+            pool.release(1, 16)

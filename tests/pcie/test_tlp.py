@@ -1,0 +1,102 @@
+"""Unit tests for TLP framing and segmentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pcie import (
+    Tlp,
+    TlpOverhead,
+    TlpType,
+    segment_payload,
+    tlp_wire_bytes,
+    transfer_wire_bytes,
+)
+
+
+class TestTlpTypes:
+    def test_posted_classification(self):
+        assert TlpType.MEM_WRITE.is_posted
+        assert TlpType.MESSAGE.is_posted
+        assert not TlpType.MEM_READ.is_posted
+        assert not TlpType.COMPLETION.is_posted
+
+    def test_address_routing(self):
+        assert TlpType.MEM_WRITE.is_address_routed
+        assert TlpType.IO_READ.is_address_routed
+        assert not TlpType.CONFIG_READ.is_address_routed
+        assert not TlpType.MESSAGE.is_address_routed
+
+
+class TestTlp:
+    def test_wire_bytes_includes_payload_for_writes(self):
+        overhead = TlpOverhead()
+        tlp = Tlp(TlpType.MEM_WRITE, 0x1000, 128)
+        assert tlp.wire_bytes(overhead) == 128 + overhead.total
+
+    def test_wire_bytes_excludes_payload_for_reads(self):
+        overhead = TlpOverhead()
+        tlp = Tlp(TlpType.MEM_READ, 0x1000, 4096)
+        assert tlp.wire_bytes(overhead) == overhead.total
+
+    def test_write_needs_data(self):
+        with pytest.raises(ValueError):
+            Tlp(TlpType.MEM_WRITE, 0, 0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Tlp(TlpType.MEM_READ, 0, -1)
+
+    def test_sequence_numbers_increase(self):
+        a = Tlp(TlpType.MEM_READ, 0, 4)
+        b = Tlp(TlpType.MEM_READ, 0, 4)
+        assert b.seq > a.seq
+
+
+class TestSegmentation:
+    def test_aligned_exact_split(self):
+        tlps = list(segment_payload(0, 1024, 256))
+        assert len(tlps) == 4
+        assert all(t.length == 256 for t in tlps)
+        assert [t.address for t in tlps] == [0, 256, 512, 768]
+
+    def test_unaligned_start_adds_fragment(self):
+        tlps = list(segment_payload(100, 512, 256))
+        assert [t.length for t in tlps] == [156, 256, 100]
+        assert sum(t.length for t in tlps) == 512
+
+    def test_small_transfer_single_tlp(self):
+        tlps = list(segment_payload(0, 64, 256))
+        assert len(tlps) == 1
+
+    def test_zero_bytes_yields_nothing(self):
+        assert list(segment_payload(0, 0, 256)) == []
+
+    def test_invalid_mps(self):
+        with pytest.raises(ValueError):
+            list(segment_payload(0, 100, 0))
+
+    def test_tags_cycle_mod_256(self):
+        tlps = list(segment_payload(0, 300 * 64, 64))
+        assert tlps[0].tag == 0
+        assert tlps[256].tag == 0  # wrapped
+
+
+class TestWireBytes:
+    def test_tlp_wire_bytes_counts_headers(self):
+        overhead = TlpOverhead()
+        assert tlp_wire_bytes(1024, 256, overhead) == \
+            1024 + 4 * overhead.total
+
+    def test_zero_transfer(self):
+        assert tlp_wire_bytes(0, 256) == 0
+
+    def test_misaligned_transfer_costs_more(self):
+        aligned = transfer_wire_bytes(0, 1024, 256)
+        misaligned = transfer_wire_bytes(100, 1024, 256)
+        assert misaligned > aligned
+
+    def test_overhead_total(self):
+        overhead = TlpOverhead(header_bytes=12, digest_bytes=4,
+                               framing_bytes=8)
+        assert overhead.total == 24

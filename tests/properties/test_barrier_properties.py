@@ -1,0 +1,88 @@
+"""Property-based barrier correctness under random arrival skew."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import ClusterConfig, ShmemConfig, run_spmd
+
+_SETTINGS = settings(
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+
+class TestBarrierUnderSkew:
+    @_SETTINGS
+    @given(
+        n_pes=st.integers(2, 5),
+        strategy=st.sampled_from(["ring", "dissemination"]),
+        skews=st.lists(st.floats(0.0, 20_000.0), min_size=5, max_size=5),
+        rounds=st.integers(1, 3),
+    )
+    def test_no_pe_escapes_early(self, n_pes, strategy, skews, rounds):
+        """With arbitrary per-PE compute skew before each barrier, no PE
+        may observe a neighbor's pre-barrier value after the barrier."""
+        def main(pe):
+            me, n = pe.my_pe(), pe.num_pes()
+            cell = yield from pe.malloc(8 * n)
+            pe.write_symmetric(cell, np.zeros(n, dtype=np.int64))
+            yield from pe.barrier_all()
+            violations = 0
+            for round_no in range(1, rounds + 1):
+                yield pe.rt.env.timeout(skews[me % len(skews)])
+                for target in range(n):
+                    if target == me:
+                        pe.write_symmetric(
+                            cell + 8 * me,
+                            np.array([round_no], dtype=np.int64),
+                        )
+                    else:
+                        yield from pe.p(cell + 8 * me, round_no, target)
+                yield from pe.barrier_all()
+                view = pe.read_symmetric_array(cell, n, np.int64)
+                if not (view == round_no).all():
+                    violations += 1
+                yield from pe.barrier_all()
+            return violations
+
+        report = run_spmd(
+            main, n_pes=n_pes,
+            cluster_config=ClusterConfig(n_hosts=n_pes),
+            shmem_config=ShmemConfig(barrier=strategy),
+        )
+        assert report.results == [0] * n_pes
+
+    @_SETTINGS
+    @given(
+        sizes=st.lists(st.integers(1, 120_000), min_size=1, max_size=3),
+        hops=st.integers(1, 2),
+    )
+    def test_flush_property_for_random_put_sizes(self, sizes, hops):
+        """Any put issued before barrier_all is fully visible after it,
+        at any size and hop distance (the token-flush guarantee)."""
+        def main(pe):
+            me, n = pe.my_pe(), pe.num_pes()
+            arena = yield from pe.malloc(sum(
+                -(-size // 64) * 64 for size in sizes
+            ) + 64 * len(sizes))
+            yield from pe.barrier_all()
+            target = (me + hops) % n
+            offset = 0
+            for index, size in enumerate(sizes):
+                data = np.full(size, (me + index) % 251, dtype=np.uint8)
+                yield from pe.put(arena + offset, data, target)
+                offset += -(-size // 64) * 64 + 64
+            yield from pe.barrier_all()
+            sender = (me - hops) % n
+            offset, ok = 0, True
+            for index, size in enumerate(sizes):
+                got = pe.read_symmetric(arena + offset, size)
+                ok = ok and (got == (sender + index) % 251).all()
+                offset += -(-size // 64) * 64 + 64
+            return bool(ok)
+
+        report = run_spmd(main, n_pes=3)
+        assert all(report.results)

@@ -1,0 +1,87 @@
+"""Tests for Environment step hooks and run() boundary behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+class TestStepHooks:
+    def test_hook_sees_every_processed_event(self, env):
+        seen = []
+        env.step_hooks.append(lambda e, evt: seen.append(e.now))
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert seen == [1.0, 2.0]
+
+    def test_hook_receives_the_event_object(self, env):
+        kinds = []
+        env.step_hooks.append(
+            lambda e, evt: kinds.append(type(evt).__name__)
+        )
+        env.timeout(1.0)
+
+        def proc():
+            yield env.timeout(2.0)
+
+        env.process(proc())
+        env.run()
+        assert "Timeout" in kinds
+        assert "Process" in kinds
+
+    def test_hook_removal(self, env):
+        seen = []
+        hook = lambda e, evt: seen.append(1)  # noqa: E731
+        env.step_hooks.append(hook)
+        env.timeout(1.0)
+        env.run()
+        env.step_hooks.remove(hook)
+        env.timeout(1.0)
+        env.run()
+        assert len(seen) == 1
+
+
+class TestRunModes:
+    def test_run_until_time_leaves_future_events_queued(self, env):
+        fired = []
+        env.timeout(5.0).callbacks.append(lambda _e: fired.append(5.0))
+        env.timeout(15.0).callbacks.append(lambda _e: fired.append(15.0))
+        env.run(until=10.0)
+        assert fired == [5.0]
+        assert env.now == 10.0
+        env.run()
+        assert fired == [5.0, 15.0]
+
+    def test_run_until_time_inclusive_boundary(self, env):
+        fired = []
+        env.timeout(10.0).callbacks.append(lambda _e: fired.append(1))
+        env.run(until=10.0)
+        assert fired == [1]
+
+    def test_run_until_already_processed_event(self, env):
+        evt = env.event()
+        evt.succeed("done")
+        env.run()
+        # Running until a processed event returns its value immediately.
+        assert env.run(until=evt) == "done"
+
+    def test_run_until_already_failed_event_raises(self, env):
+        evt = env.event()
+        evt.fail(ValueError("past failure")).defuse()
+        env.run()
+        with pytest.raises(ValueError, match="past failure"):
+            env.run(until=evt)
+
+    def test_active_process_visible_during_resume(self, env):
+        observed = []
+
+        def proc():
+            observed.append(env.active_process)
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        env.run()
+        assert observed == [process]
+        assert env.active_process is None

@@ -1,0 +1,95 @@
+"""Unit tests for the tracing/metrics layer."""
+
+from __future__ import annotations
+
+from repro.sim import Environment, IntervalStats, Tracer
+from repro.sim.trace import merge_interval_stats
+
+
+class TestTracer:
+    def test_emit_records_time_and_detail(self, env):
+        tracer = Tracer(env)
+        env.run(until=5.0)
+        tracer.emit("host0.dma", "complete", nbytes=4096)
+        [record] = tracer.records
+        assert record.time == 5.0
+        assert record.source == "host0.dma"
+        assert record.detail == {"nbytes": 4096}
+
+    def test_query_filters(self, env):
+        tracer = Tracer(env)
+        tracer.emit("host0.dma", "a")
+        tracer.emit("host1.dma", "a")
+        tracer.emit("host0.db", "b")
+        assert len(list(tracer.query(source="host0"))) == 2
+        assert len(list(tracer.query(kind="a"))) == 2
+        assert len(list(tracer.query(source="host0", kind="a"))) == 1
+
+    def test_disabled_tracer_skips_records_keeps_counters(self, env):
+        tracer = Tracer(env, enabled=False)
+        tracer.emit("x", "y")
+        tracer.count("ops", nbytes=100)
+        assert tracer.records == []
+        assert tracer.counters["ops"].bytes == 100
+
+    def test_max_records_cap(self, env):
+        tracer = Tracer(env, max_records=2)
+        for index in range(5):
+            tracer.emit("s", "k", i=index)
+        assert len(tracer.records) == 2
+
+    def test_sink_called_even_when_disabled(self, env):
+        tracer = Tracer(env, enabled=False)
+        seen = []
+        tracer.sinks.append(seen.append)
+        tracer.emit("s", "k")
+        assert len(seen) == 1
+
+    def test_throughput_mbps(self, env):
+        tracer = Tracer(env)
+        env.run(until=100.0)
+        tracer.count("xfer", nbytes=1000)
+        # 1000 bytes over 100 us == 10 MB/s
+        assert tracer.throughput_mbps("xfer") == 10.0
+        assert tracer.throughput_mbps("missing") == 0.0
+
+    def test_summary_structure(self, env):
+        tracer = Tracer(env)
+        tracer.count("ops", n=3, nbytes=300)
+        tracer.observe("lat", 5.0)
+        tracer.observe("lat", 15.0)
+        summary = tracer.summary()
+        assert summary["count.ops"] == 3
+        assert summary["bytes.ops"] == 300
+        assert summary["interval.lat.count"] == 2
+        assert summary["interval.lat.mean_us"] == 10.0
+        assert summary["interval.lat.max_us"] == 15.0
+
+
+class TestIntervalStats:
+    def test_observations(self):
+        stats = IntervalStats()
+        for value in (2.0, 4.0, 9.0):
+            stats.observe(value)
+        assert stats.count == 3
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+        assert stats.mean == 5.0
+
+    def test_empty_mean_is_zero(self):
+        assert IntervalStats().mean == 0.0
+
+    def test_merge(self):
+        a, b = IntervalStats(), IntervalStats()
+        a.observe(1.0)
+        a.observe(3.0)
+        b.observe(10.0)
+        merged = merge_interval_stats([a, b])
+        assert merged.count == 3
+        assert merged.minimum == 1.0
+        assert merged.maximum == 10.0
+        assert merged.mean == 14.0 / 3
+
+    def test_merge_skips_empty(self):
+        merged = merge_interval_stats([IntervalStats(), IntervalStats()])
+        assert merged.count == 0
