@@ -34,10 +34,14 @@ from .core import (
     HeapConfig,
     LocalBuffer,
     Mode,
+    RaceError,
+    RaceReport,
     ShmemConfig,
     ShmemError,
+    ShmemSan,
     SpmdReport,
     SymAddr,
+    render_race_table,
     run_spmd,
 )
 from .fabric import Cluster, ClusterConfig, Direction, RoutingPolicy
@@ -53,10 +57,14 @@ __all__ = [
     "HeapConfig",
     "LocalBuffer",
     "Mode",
+    "RaceError",
+    "RaceReport",
     "ShmemConfig",
     "ShmemError",
+    "ShmemSan",
     "SpmdReport",
     "SymAddr",
+    "render_race_table",
     "run_spmd",
     "Cluster",
     "ClusterConfig",

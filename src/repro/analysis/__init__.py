@@ -1,0 +1,36 @@
+"""Static analysis + model invariants for the reproduction.
+
+Two halves:
+
+* :mod:`repro.analysis.lint` — an AST lint (``python -m repro.analysis.lint
+  src/repro``) enforcing the determinism and layering rules the simulator
+  depends on: no wall-clock or ambient randomness inside the simulated
+  layers, no bare ``yield`` in process coroutines, no mutation of NTB
+  register state outside the device layer.
+* :mod:`repro.analysis.invariants` — runtime checks over the NTB hardware
+  models at quiescence (translation-window overlap, DMA descriptor reuse
+  before completion, doorbell writes latched behind a mask), run
+  automatically at the end of every sanitized :func:`repro.run_spmd`.
+"""
+
+from .invariants import (
+    InvariantError,
+    InvariantViolation,
+    check_cluster,
+    check_dma_engine,
+    check_doorbell,
+    check_endpoint_windows,
+)
+
+# NOTE: repro.analysis.lint is deliberately NOT imported here — it is run
+# as ``python -m repro.analysis.lint``, and importing it from the package
+# __init__ would trigger the runpy double-import warning.
+
+__all__ = [
+    "InvariantError",
+    "InvariantViolation",
+    "check_cluster",
+    "check_dma_engine",
+    "check_doorbell",
+    "check_endpoint_windows",
+]

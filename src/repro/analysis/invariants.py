@@ -1,0 +1,161 @@
+"""Runtime invariant checks over the NTB hardware models.
+
+These are the properties a driver writer for real PEX87xx parts must never
+violate and that the simulated models assume.  Each check inspects a
+quiescent model (no simulated time is consumed) and returns a list of
+:class:`InvariantViolation` records:
+
+* **translation-window overlap** — two enabled incoming windows on the same
+  endpoint whose ``[translation_address, +size)`` ranges intersect: TLPs
+  arriving on either window would alias the same local DRAM, which on real
+  hardware corrupts whichever consumer loses the race;
+* **DMA descriptor reuse before completion** — a request still queued in
+  the descriptor ring whose completion event already fired (or the same
+  request object queued twice): the engine would walk freed descriptors;
+* **doorbell write-while-pending** — a doorbell bit latched while masked at
+  quiescence: the producer rang, nobody will ever be interrupted, and the
+  signal (barrier token, ACK, ...) is silently lost.
+
+``check_cluster`` walks every adapter of a cluster and is invoked by
+:func:`repro.core.program.run_spmd` after each sanitized run (strict mode
+raises :class:`InvariantError`; report mode returns the violations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fabric import Cluster
+    from ..ntb.device import NtbEndpoint
+    from ..ntb.dma import DmaEngine
+    from ..ntb.doorbell import DoorbellRegister
+
+__all__ = ["InvariantError", "InvariantViolation", "check_cluster",
+           "check_endpoint_windows", "check_dma_engine", "check_doorbell"]
+
+
+class InvariantError(Exception):
+    """A hardware-model invariant does not hold at quiescence."""
+
+    def __init__(self, violations: List["InvariantViolation"]):
+        self.violations = violations
+        lines = [f"{len(violations)} NTB model invariant violation(s):"]
+        lines += [f"  - {v.describe()}" for v in violations]
+        super().__init__("\n".join(lines))
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant on one model object."""
+
+    rule: str        # "window-overlap" | "dma-descriptor-reuse" | ...
+    component: str   # e.g. "host2.right"
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.rule}] {self.component}: {self.detail}"
+
+
+def check_endpoint_windows(endpoint: "NtbEndpoint",
+                           component: str) -> List[InvariantViolation]:
+    """Enabled incoming translations must target disjoint local ranges."""
+    violations: List[InvariantViolation] = []
+    enabled = [w for w in endpoint.incoming if w.enabled]
+    for i, first in enumerate(enabled):
+        if first.translation_size <= 0:
+            violations.append(InvariantViolation(
+                "window-overlap", component,
+                f"window {first.window_index} enabled with "
+                f"non-positive size {first.translation_size}",
+            ))
+            continue
+        for second in enabled[i + 1:]:
+            a0, a1 = (first.translation_address,
+                      first.translation_address + first.translation_size)
+            b0, b1 = (second.translation_address,
+                      second.translation_address + second.translation_size)
+            if a0 < b1 and b0 < a1:
+                violations.append(InvariantViolation(
+                    "window-overlap", component,
+                    f"windows {first.window_index} and "
+                    f"{second.window_index} alias local memory "
+                    f"[{max(a0, b0):#x}, {min(a1, b1):#x})",
+                ))
+    return violations
+
+
+def check_dma_engine(engine: "DmaEngine",
+                     component: str) -> List[InvariantViolation]:
+    """No queued descriptor may already be completed or queued twice."""
+    violations: List[InvariantViolation] = []
+    queued = engine._ring.items
+    seen_ids: set[int] = set()
+    for request in queued:
+        if id(request) in seen_ids:
+            violations.append(InvariantViolation(
+                "dma-descriptor-reuse", component,
+                f"request for window {request.window_index} at offset "
+                f"{request.window_offset:#x} queued twice",
+            ))
+            continue
+        seen_ids.add(id(request))
+        if request.done.triggered:
+            violations.append(InvariantViolation(
+                "dma-descriptor-reuse", component,
+                f"queued request for window {request.window_index} at "
+                f"offset {request.window_offset:#x} has an already-"
+                f"triggered completion event (descriptor reused before "
+                f"completion)",
+            ))
+        elif request.completed_at:
+            violations.append(InvariantViolation(
+                "dma-descriptor-reuse", component,
+                f"queued request for window {request.window_index} "
+                f"carries completed_at={request.completed_at} "
+                f"(stale descriptor resubmitted)",
+            ))
+    return violations
+
+
+def check_doorbell(doorbell: "DoorbellRegister",
+                   component: str) -> List[InvariantViolation]:
+    """No doorbell bit may sit latched behind its mask at quiescence."""
+    violations: List[InvariantViolation] = []
+    stuck = doorbell.pending & doorbell.mask
+    if stuck:
+        bits = [b for b in range(16) if stuck & (1 << b)]
+        violations.append(InvariantViolation(
+            "doorbell-write-while-pending", component,
+            f"bit(s) {bits} latched while masked: the ring is lost "
+            f"(pending={doorbell.pending:#06x} mask={doorbell.mask:#06x})",
+        ))
+    return violations
+
+
+def check_cluster(cluster: "Cluster",
+                  strict: bool = True) -> List[InvariantViolation]:
+    """Run all model checks over every adapter of ``cluster``.
+
+    Raises :class:`InvariantError` when ``strict`` and anything is broken;
+    otherwise returns the violation list (possibly empty).
+    """
+    violations: List[InvariantViolation] = []
+    for (host_id, side), driver in sorted(cluster._drivers.items()):
+        component = f"host{host_id}.{side}"
+        endpoint = driver.endpoint
+        violations += check_endpoint_windows(endpoint, component)
+        violations += check_dma_engine(endpoint.dma, component)
+        violations += check_doorbell(endpoint.doorbell, component)
+    if strict and violations:
+        raise InvariantError(violations)
+    return violations
+
+
+def render_violations(violations: Iterable[InvariantViolation]) -> str:
+    """Human-readable listing (empty input renders a clean line)."""
+    rows = list(violations)
+    if not rows:
+        return "NTB model invariants: all hold"
+    return "\n".join(v.describe() for v in rows)

@@ -1,0 +1,251 @@
+"""Determinism / layering lint for the reproduction (AST-based).
+
+Run as ``python -m repro.analysis.lint [paths...]`` (default: ``src/repro``
+relative to the current directory, falling back to the installed package).
+Exits non-zero when any rule fires.
+
+Rules
+-----
+``wallclock``
+    The simulated layers (``sim``, ``memory``, ``pcie``, ``ntb``, ``host``,
+    ``fabric``, ``core``) must be bit-deterministic functions of the event
+    queue: importing ``time``/``random``/``datetime`` or touching
+    ``numpy.random`` there injects wall-clock or ambient entropy and breaks
+    reproducibility.  The ``bench`` CLI may measure wall time; models may
+    not.
+
+``bare-yield``
+    Process coroutines communicate with the event kernel by yielding
+    :class:`~repro.sim.Event` objects; a bare ``yield`` (or ``yield`` of a
+    literal constant) is always a latent ``SimulationError`` at runtime.
+    Suppress intentional cases with ``# pragma: no cover`` on the line.
+
+``register-mutation``
+    NTB register state (translation addresses/sizes, doorbell pending and
+    mask bits, LUT entries, interrupt sinks) may only be mutated inside the
+    device layer (``repro/ntb``).  Everything above must go through the
+    driver API — poking ``endpoint.doorbell._pending`` from the runtime is
+    how real drivers corrupt hardware state.
+
+Any line containing ``pragma: no cover`` or ``lint: skip`` is exempt from
+all rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["LintIssue", "lint_file", "lint_paths", "main"]
+
+#: packages whose modules run under simulated time (the wallclock rule).
+SIMULATED_PACKAGES = frozenset(
+    {"sim", "memory", "pcie", "ntb", "host", "fabric", "core"}
+)
+
+#: modules whose import anywhere in a simulated package is a violation.
+WALLCLOCK_MODULES = frozenset({"time", "random", "datetime"})
+
+#: attribute names that are NTB register state (the register-mutation rule).
+REGISTER_ATTRS = frozenset({
+    "translation_address", "translation_size", "enabled",
+    "_pending", "_mask", "_entries", "interrupt_sink",
+})
+
+#: package allowed to mutate register state.
+DEVICE_PACKAGE = "ntb"
+
+_SUPPRESS_MARKERS = ("pragma: no cover", "lint: skip")
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _repro_package(path: Path) -> Optional[str]:
+    """The first package under ``repro`` that ``path`` belongs to."""
+    parts = path.parts
+    for index, part in enumerate(parts):
+        if part == "repro" and index + 1 < len(parts):
+            return parts[index + 1]
+    return None
+
+
+def _suppressed(source_lines: Sequence[str], lineno: int) -> bool:
+    if 1 <= lineno <= len(source_lines):
+        line = source_lines[lineno - 1]
+        return any(marker in line for marker in _SUPPRESS_MARKERS)
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: Path, source_lines: Sequence[str]):
+        self.path = path
+        self.source_lines = source_lines
+        self.package = _repro_package(path)
+        self.issues: List[LintIssue] = []
+
+    # ------------------------------------------------------------- helpers
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        if _suppressed(self.source_lines, lineno):
+            return
+        self.issues.append(
+            LintIssue(str(self.path), lineno, rule, message)
+        )
+
+    @property
+    def _in_simulated(self) -> bool:
+        return self.package in SIMULATED_PACKAGES
+
+    # ------------------------------------------------------- rule: wallclock
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._in_simulated:
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in WALLCLOCK_MODULES:
+                    self._emit(
+                        node, "wallclock",
+                        f"import of {alias.name!r} in simulated package "
+                        f"{self.package!r} (wall-clock/entropy breaks "
+                        f"determinism)",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._in_simulated and node.module:
+            root = node.module.split(".")[0]
+            if root in WALLCLOCK_MODULES:
+                self._emit(
+                    node, "wallclock",
+                    f"import from {node.module!r} in simulated package "
+                    f"{self.package!r} (wall-clock/entropy breaks "
+                    f"determinism)",
+                )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # numpy.random (np.random.*) carries ambient global RNG state.
+        if self._in_simulated and node.attr == "random":
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in ("np", "numpy"):
+                self._emit(
+                    node, "wallclock",
+                    "numpy.random in a simulated package uses ambient "
+                    "global RNG state; thread an explicit Generator "
+                    "through the config instead",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------- rule: bare-yield
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if node.value is None:
+            self._emit(
+                node, "bare-yield",
+                "bare 'yield' in a coroutine: the event kernel requires "
+                "yielding an Event (this raises SimulationError at "
+                "runtime)",
+            )
+        elif isinstance(node.value, ast.Constant):
+            self._emit(
+                node, "bare-yield",
+                f"'yield {node.value.value!r}': process coroutines must "
+                f"yield Event objects, not constants",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------- rule: register-mutation
+    def _check_register_target(self, target: ast.expr) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        if target.attr not in REGISTER_ATTRS:
+            return
+        base = target.value
+        # A class mutating its own state (self.enabled = ...) is the
+        # device implementing itself, not a layering violation.
+        if isinstance(base, ast.Name) and base.id == "self":
+            return
+        self._emit(
+            target, "register-mutation",
+            f"assignment to NTB register attribute {target.attr!r} "
+            f"outside the device layer; use the NtbDriver API",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.package != DEVICE_PACKAGE:
+            for target in node.targets:
+                self._check_register_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.package != DEVICE_PACKAGE:
+            self._check_register_target(node.target)
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[LintIssue]:
+    """Lint one python source file; returns its issues (possibly empty)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [LintIssue(str(path), exc.lineno or 1, "syntax",
+                          f"cannot parse: {exc.msg}")]
+    checker = _Checker(path, source.splitlines())
+    checker.visit(tree)
+    return checker.issues
+
+
+def lint_paths(paths: Iterable[Path]) -> List[LintIssue]:
+    """Lint every ``.py`` file under the given files/directories."""
+    issues: List[LintIssue] = []
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                issues += lint_file(file)
+        elif path.suffix == ".py":
+            issues += lint_file(path)
+    return issues
+
+
+def _default_target() -> Path:
+    candidate = Path("src/repro")
+    if candidate.is_dir():
+        return candidate
+    # Fall back to the installed package location.
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    targets = [Path(a) for a in args] or [_default_target()]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        print(f"lint: no such path(s): {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    issues = lint_paths(targets)
+    for issue in issues:
+        print(issue)
+    checked = sum(
+        len(list(t.rglob("*.py"))) if t.is_dir() else 1 for t in targets
+    )
+    status = "clean" if not issues else f"{len(issues)} issue(s)"
+    print(f"lint: {checked} file(s) checked, {status}")
+    return 1 if issues else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ...core import Mode, ShmemConfig, run_spmd
+from ...core import ShmemConfig, run_spmd
 from ...fabric import ClusterConfig
 from ..reporting import PAPER_SIZES, Row
 from .fig9 import CONFIGS

@@ -11,7 +11,7 @@ the authors' testbed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Optional
 
 from .experiments.fig8 import run_fig8
 from .experiments.fig9 import run_fig9
@@ -22,7 +22,6 @@ from .reporting import (
     Row,
     ShapeCheck,
     check_shapes,
-    format_shape_report,
     render_table,
 )
 

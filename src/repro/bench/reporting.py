@@ -9,10 +9,12 @@ criteria from DESIGN.md §4 so benches can assert the reproduction holds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Sequence
+
+from ..core.sanitizer import render_race_table
 
 __all__ = ["Row", "render_table", "size_label", "ShapeCheck",
-           "geometric_mean"]
+           "geometric_mean", "render_race_table"]
 
 #: The request sizes the paper sweeps in every figure (1 KB .. 512 KB).
 PAPER_SIZES = [1 << k for k in range(10, 20)]

@@ -19,6 +19,7 @@ from .errors import (
     BadPeError,
     NotInitializedError,
     ProtocolError,
+    RaceError,
     ShmemError,
     SymmetricHeapError,
     TransferError,
@@ -27,6 +28,7 @@ from .heap import HeapConfig, SymAddr, SymmetricHeap
 from .locks import clear_lock, set_lock, test_lock
 from .program import SpmdReport, make_cluster, run_spmd
 from .runtime import AmoOp, ShmemConfig, ShmemRuntime
+from .sanitizer import RaceReport, ShmemSan, render_race_table
 from .service import ShmemService
 from .transfer import Message, Mode, MsgKind
 
@@ -46,6 +48,7 @@ __all__ = [
     "BadPeError",
     "NotInitializedError",
     "ProtocolError",
+    "RaceError",
     "ShmemError",
     "SymmetricHeapError",
     "TransferError",
@@ -61,6 +64,9 @@ __all__ = [
     "AmoOp",
     "ShmemConfig",
     "ShmemRuntime",
+    "RaceReport",
+    "ShmemSan",
+    "render_race_table",
     "ShmemService",
     "Message",
     "Mode",

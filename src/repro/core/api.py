@@ -246,7 +246,11 @@ class PE:
     def read_symmetric(self, addr: SymAddr, nbytes: int) -> np.ndarray:
         """Direct (local, untimed) read of our own symmetric heap —
         standard OpenSHMEM: local symmetric objects are plain memory."""
-        return self.rt.heap.read(addr, nbytes)
+        rt = self.rt
+        if rt.san is not None:
+            rt.san.record_read(rt.my_pe_id, rt.my_pe_id, addr.offset,
+                               nbytes, "local_read", rt.env.now)
+        return rt.heap.read(addr, nbytes)
 
     def read_symmetric_array(self, addr: SymAddr, count: int,
                              dtype) -> np.ndarray:
@@ -255,7 +259,12 @@ class PE:
 
     def write_symmetric(self, addr: SymAddr, data: ArrayLike) -> None:
         """Direct (local, untimed) write of our own symmetric heap."""
-        self.rt.deliver_to_heap(addr.offset, _as_u8(data))
+        arr = _as_u8(data)
+        rt = self.rt
+        if rt.san is not None:
+            rt.san.record_write(rt.my_pe_id, rt.my_pe_id, addr.offset,
+                                arr.size, "local_write", rt.env.now)
+        rt.deliver_to_heap(addr.offset, arr)
 
     # -- Table I: synchronization ------------------------------------------------
     def barrier_all(self) -> Generator:
@@ -272,16 +281,29 @@ class PE:
         yield from self.rt.quiet()
 
     def wait_until(self, addr: SymAddr, op: str, value: int) -> Generator:
-        """``shmem_wait_until`` on a local int64 symmetric cell."""
+        """``shmem_wait_until`` on a local int64 symmetric cell.
+
+        The polling loads are *synchronization reads*: ShmemSan does not
+        record them as plain accesses (the producer's concurrent write to
+        the flag is the by-design signalling idiom, not a race).  Instead,
+        when the condition holds, this PE acquires the happens-before
+        clock of the write that satisfied it — so data published before a
+        ``put_signal``/flag write is visible race-free afterwards.
+        """
         try:
             cmp = _WAIT_OPS[op]
         except KeyError:
             raise ShmemError(f"unknown wait_until op {op!r}") from None
+        rt = self.rt
         while True:
-            cell = int(self.read_symmetric_array(addr, 1, np.int64)[0])
+            # Unrecorded load straight off the heap (sync-read exemption).
+            cell = int(rt.heap.read(addr, 8).view(np.int64)[0])
             if cmp(cell, value):
+                if rt.san is not None:
+                    rt.san.sync_acquire(rt.my_pe_id, rt.my_pe_id,
+                                        addr.offset, 8)
                 return cell
-            yield self.rt.heap_updated.wait()
+            yield rt.heap_updated.wait()
 
     # -- atomics ---------------------------------------------------------------
     def atomic_fetch(self, addr: SymAddr, pe: int) -> Generator:

@@ -9,6 +9,7 @@ __all__ = [
     "BadPeError",
     "TransferError",
     "ProtocolError",
+    "RaceError",
 ]
 
 
@@ -35,3 +36,15 @@ class TransferError(ShmemError):
 class ProtocolError(ShmemError):
     """Wire-protocol violations: bad message kinds, misrouted packets,
     mailbox misuse.  Always indicates a runtime bug, never user error."""
+
+
+class RaceError(ShmemError):
+    """ShmemSan (strict mode) found two conflicting symmetric-heap
+    accesses with no happens-before edge between them.
+
+    Carries the :class:`~repro.core.sanitizer.RaceReport` as ``report``.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.describe())

@@ -26,7 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..host import Host, UserBuffer
-from ..memory import Allocation, AllocationError, PhysSegment, RegionAllocator
+from ..memory import AllocationError, PhysSegment, RegionAllocator
 from .errors import SymmetricHeapError
 
 __all__ = ["SymAddr", "HeapConfig", "SymmetricHeap"]

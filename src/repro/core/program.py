@@ -13,6 +13,8 @@ faithfully.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
@@ -21,6 +23,7 @@ from ..sim import AllOf, CountdownLatch, Environment, Tracer
 from .api import PE
 from .errors import ShmemError
 from .runtime import ShmemConfig, ShmemRuntime
+from .sanitizer import RaceReport, ShmemSan
 
 __all__ = ["SpmdReport", "run_spmd", "make_cluster"]
 
@@ -36,6 +39,10 @@ class SpmdReport:
     cluster: Cluster
     runtimes: list[ShmemRuntime]
     pes: list[PE]
+    #: ShmemSan race reports ("report" mode; empty when clean or off).
+    races: list[RaceReport] = field(default_factory=list)
+    #: the detector itself (None when sanitization was off).
+    sanitizer: Optional[ShmemSan] = None
 
     @property
     def env(self) -> Environment:
@@ -130,6 +137,21 @@ def run_spmd(main: PeMain, n_pes: int = 3,
         raise ShmemError(
             f"cluster has {cluster.n_hosts} hosts but n_pes={n_pes}"
         )
+    # REPRO_SANITIZE=strict|report turns ShmemSan on for runs that did not
+    # choose explicitly (the CI smoke path: sanitize the stock examples
+    # without editing them).  An explicit ShmemConfig(sanitize=...) wins.
+    env_mode = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    if env_mode and env_mode not in ("strict", "report", "off", "0", ""):
+        raise ValueError(
+            f"REPRO_SANITIZE={env_mode!r}: expected 'strict', 'report' or "
+            "'off' — refusing to run unsanitized on a typo"
+        )
+    if env_mode in ("strict", "report"):
+        if shmem_config is None:
+            shmem_config = ShmemConfig(sanitize=env_mode)
+        elif shmem_config.sanitize is None:
+            shmem_config = dataclasses.replace(shmem_config,
+                                               sanitize=env_mode)
     env = cluster.env
     runtimes = [
         ShmemRuntime(cluster, pe_id, shmem_config) for pe_id in range(n_pes)
@@ -159,12 +181,22 @@ def run_spmd(main: PeMain, n_pes: int = 3,
     if check_heap_consistency and not finalize:
         _check_same_offsets(runtimes)
 
+    sanitizer = getattr(cluster, "shmemsan", None)
+    if sanitizer is not None:
+        # Static invariants of the NTB hardware models hold at quiescence
+        # (LUT/window overlap, stale DMA descriptors, orphaned doorbells).
+        from ..analysis.invariants import check_cluster
+
+        check_cluster(cluster, strict=(sanitizer.mode == "strict"))
+
     return SpmdReport(
         results=results,
         elapsed_us=env.now,
         cluster=cluster,
         runtimes=runtimes,
         pes=pes,
+        races=list(sanitizer.reports) if sanitizer is not None else [],
+        sanitizer=sanitizer,
     )
 
 

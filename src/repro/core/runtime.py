@@ -123,6 +123,13 @@ class ShmemConfig:
     #: Optional watchdog for blocking Gets/AMOs: raise TransferError if a
     #: response chunk takes longer than this (None = wait forever).
     reply_timeout_us: Optional[float] = None
+    #: ShmemSan race detection: None (off), "strict" (raise RaceError at
+    #: the second unordered access), or "report" (accumulate RaceReports).
+    sanitize: Optional[str] = None
+    #: Shadow-state cell size in bytes (smaller = more precise, more
+    #: memory).  Accesses are checked per cell, so two PEs touching
+    #: different fields of the same cell can be conservatively flagged.
+    sanitize_granularity: int = 8
 
     def __post_init__(self) -> None:
         if self.rx_data_size < 4096:
@@ -135,6 +142,13 @@ class ShmemConfig:
             raise ValueError("get_chunk too small")
         if self.barrier not in ("ring", "dissemination", "centralized"):
             raise ValueError(f"unknown barrier strategy {self.barrier!r}")
+        if self.sanitize not in (None, "strict", "report"):
+            raise ValueError(
+                f"sanitize must be None, 'strict' or 'report', "
+                f"got {self.sanitize!r}"
+            )
+        if self.sanitize_granularity < 1:
+            raise ValueError("sanitize_granularity must be >= 1")
 
 
 @dataclass
@@ -212,6 +226,21 @@ class ShmemRuntime:
         self.put_count = 0
         self.get_count = 0
         self.amo_count = 0
+        #: ShmemSan instance, shared by every sanitizing runtime of the
+        #: cluster (race detection needs all PEs' clocks in one place).
+        self.san = None
+        if self.config.sanitize is not None:
+            from .sanitizer import ShmemSan  # local import avoids cycle
+
+            san = getattr(cluster, "shmemsan", None)
+            if san is None or san.n_pes != self.n_pes:
+                san = ShmemSan(
+                    self.n_pes, mode=self.config.sanitize,
+                    granularity=self.config.sanitize_granularity,
+                    tracer=self.tracer,
+                )
+                cluster.shmemsan = san
+            self.san = san
 
     # ------------------------------------------------------------------ init
     def initialize(self) -> Generator:
@@ -431,6 +460,9 @@ class ShmemRuntime:
         if nbytes <= 0:
             raise TransferError(f"put size must be positive, got {nbytes}")
         self.put_count += 1
+        if self.san is not None:
+            self.san.record_write(self.my_pe_id, pe, dest.offset, nbytes,
+                                  "put", self.env.now)
         op_start = self.env.now
         try:
             yield from self._put_inner(dest, src_virt, nbytes, pe, mode)
@@ -491,6 +523,9 @@ class ShmemRuntime:
         if nbytes <= 0:
             raise TransferError(f"get size must be positive, got {nbytes}")
         self.get_count += 1
+        if self.san is not None:
+            self.san.record_read(self.my_pe_id, pe, src.offset, nbytes,
+                                 "get", self.env.now)
         op_start = self.env.now
         try:
             yield from self._get_inner(src, nbytes, pe, dest_virt, mode)
@@ -545,6 +580,9 @@ class ShmemRuntime:
         if op not in AmoOp.ALL:
             raise TransferError(f"unknown AMO op {op}")
         self.amo_count += 1
+        if self.san is not None:
+            self.san.record_atomic(self.my_pe_id, pe, target.offset, 8,
+                                   f"amo:{op}", self.env.now)
         if pe == self.my_pe_id:
             # Local fast path still serializes through the service thread
             # for atomicity with concurrent remote AMOs.
@@ -665,6 +703,8 @@ class ShmemRuntime:
                 if not link.data_mailbox.idle or not link.bypass_mailbox.idle
             ]
             if not busy and not self.pending_gets and not self.pending_amos:
+                if self.san is not None:
+                    self.san.quiet(self.my_pe_id)
                 return
             # Poll cheaply: ACK top halves run at interrupt time, so a
             # short sleep is enough to see progress.
@@ -690,8 +730,12 @@ class ShmemRuntime:
         self._check_ready()
         op_start = self.env.now
         yield from self.quiet()
+        if self.san is not None:
+            self.san.barrier_enter(self.my_pe_id)
         assert self.barrier is not None
         yield from self.barrier.wait()
+        if self.san is not None:
+            self.san.barrier_exit(self.my_pe_id)
         self.tracer.observe(f"{self.name}.barrier_us",
                             self.env.now - op_start)
 

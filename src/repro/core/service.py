@@ -25,7 +25,6 @@ from typing import TYPE_CHECKING, Generator, Optional
 import numpy as np
 
 from ..host import KernelThread
-from ..sim import Event
 from .errors import ProtocolError
 from .heap import SymAddr
 from .transfer import (

@@ -44,7 +44,7 @@ from ..host import Host, PinnedBuffer
 from ..memory import PhysSegment
 from ..ntb import NtbDriver
 from ..ntb.device import BYPASS_WINDOW, DATA_WINDOW
-from ..sim import Environment, Event, Resource
+from ..sim import Environment, Resource
 from .errors import ProtocolError, TransferError
 
 __all__ = [

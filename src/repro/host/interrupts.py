@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..sim import Environment, Event, Tracer
+from ..sim import Environment, Tracer
 
 __all__ = ["InterruptError", "InterruptController"]
 

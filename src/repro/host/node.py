@@ -9,7 +9,7 @@ NTB adapters ("left"/"right" in the ring).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Optional
 
 import numpy as np
 

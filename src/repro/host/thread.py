@@ -14,7 +14,7 @@ the classic lost-wakeup race the tests exercise explicitly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from typing import Callable, Generator, Optional
 
 from ..sim import Environment, Event, Process
 

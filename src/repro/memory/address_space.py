@@ -14,7 +14,7 @@ advice while keeping correctness-by-default).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Iterator, Union
 
 import numpy as np
 

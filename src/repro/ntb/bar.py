@@ -17,8 +17,6 @@ The model separates the two halves exactly like hardware does:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 from ..memory import AccessFault, PhysicalMemory
 from ..pcie import BarKind, BarRegister
 

@@ -35,7 +35,7 @@ from ..pcie import (
     LinkConfig,
     Type0Header,
 )
-from ..sim import BandwidthServer, Environment, Event, Tracer
+from ..sim import BandwidthServer, Environment, Tracer
 from .bar import IncomingTranslation, OutgoingWindow, WindowError
 from .dma import DmaConfig, DmaDirection, DmaEngine, DmaRequest
 from .doorbell import DoorbellRegister

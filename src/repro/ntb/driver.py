@@ -16,7 +16,7 @@ the appropriate :class:`~repro.host.CostModel` cost:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional, Sequence
+from typing import Callable, Generator, Sequence
 
 import numpy as np
 
@@ -28,8 +28,7 @@ from ..pcie.config import (
     REG_COMMAND,
     REG_VENDOR_ID,
 )
-from .device import DATA_WINDOW, NtbEndpoint, NtbError
-from .dma import DmaRequest
+from .device import NtbEndpoint
 from .doorbell import DOORBELL_BITS
 
 __all__ = ["NtbDriver", "DriverError"]

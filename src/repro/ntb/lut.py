@@ -13,8 +13,6 @@ validates that incoming transfers carry a requester ID that has a LUT entry
 
 from __future__ import annotations
 
-from typing import Optional
-
 __all__ = ["LutError", "LookupTable"]
 
 DEFAULT_LUT_ENTRIES = 32

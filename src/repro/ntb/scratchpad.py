@@ -14,8 +14,6 @@ wait for updates in tests.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..sim import Environment, Signal
 
 __all__ = ["ScratchpadError", "ScratchpadFile"]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from .core import Environment, Event, PENDING
+from .core import Environment, Event
 from .errors import EventLifecycleError
 
 __all__ = [

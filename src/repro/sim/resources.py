@@ -14,7 +14,7 @@ The hardware models use these for:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generic, Optional, TypeVar
+from typing import Deque, Generic, Optional, TypeVar
 
 from .core import Environment, Event
 from .errors import SimulationError

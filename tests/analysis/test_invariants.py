@@ -1,0 +1,186 @@
+"""NTB model invariant checks: each rule fires on a broken model and stays
+quiet on healthy ones (including a full cluster after a real SPMD run)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ShmemConfig, run_spmd
+from repro.analysis.invariants import (
+    InvariantError,
+    check_cluster,
+    check_dma_engine,
+    check_doorbell,
+    check_endpoint_windows,
+    render_violations,
+)
+from repro.fabric import Cluster, ClusterConfig
+from repro.ntb.bar import IncomingTranslation
+from repro.ntb.doorbell import DoorbellRegister
+from repro.sim import Environment
+
+
+class _FakeEndpoint:
+    def __init__(self, incoming):
+        self.incoming = incoming
+
+
+# ----------------------------------------------------------- window overlap
+def test_overlapping_windows_flagged():
+    first = IncomingTranslation(window_index=0)
+    second = IncomingTranslation(window_index=1)
+    first.program(0x1000, 0x2000)
+    second.program(0x2800, 0x1000)  # overlaps [0x2800, 0x3000)
+    violations = check_endpoint_windows(
+        _FakeEndpoint([first, second]), "host0.right"
+    )
+    assert [v.rule for v in violations] == ["window-overlap"]
+    assert "0x2800" in violations[0].detail
+
+
+def test_disjoint_windows_clean():
+    first = IncomingTranslation(window_index=0)
+    second = IncomingTranslation(window_index=1)
+    first.program(0x1000, 0x1000)
+    second.program(0x2000, 0x1000)  # adjacent, not overlapping
+    assert check_endpoint_windows(
+        _FakeEndpoint([first, second]), "host0.right"
+    ) == []
+
+
+def test_disabled_window_ignored():
+    first = IncomingTranslation(window_index=0)
+    second = IncomingTranslation(window_index=1)
+    first.program(0x1000, 0x2000)
+    second.program(0x1000, 0x2000)  # would overlap...
+    second.disable()                # ...but is disabled
+    assert check_endpoint_windows(
+        _FakeEndpoint([first, second]), "host0.right"
+    ) == []
+
+
+# ------------------------------------------------------ dma descriptor reuse
+def _probed_pair():
+    cluster = Cluster(ClusterConfig(n_hosts=2, topology="chain"))
+    cluster.run_probe()
+    return cluster
+
+
+def test_queued_completed_request_flagged():
+    cluster = _probed_pair()
+    driver = cluster.driver(0, "right")
+    engine = driver.endpoint.dma
+    # Craft a descriptor whose completion event has already fired and
+    # sneak it back into the ring: classic reuse-before-completion.
+    from repro.memory import PhysSegment
+    from repro.ntb.dma import DmaDirection, DmaRequest
+
+    done = cluster.env.event()
+    done.succeed(None)
+    stale = DmaRequest(
+        direction=DmaDirection.WRITE, window_index=0, window_offset=0,
+        segments=(PhysSegment(0, 64),), done=done,
+    )
+    engine._ring._items.append(stale)
+    violations = check_dma_engine(engine, "host0.right")
+    assert [v.rule for v in violations] == ["dma-descriptor-reuse"]
+
+
+def test_double_queued_request_flagged():
+    cluster = _probed_pair()
+    engine = cluster.driver(0, "right").endpoint.dma
+    from repro.memory import PhysSegment
+    from repro.ntb.dma import DmaDirection, DmaRequest
+
+    request = DmaRequest(
+        direction=DmaDirection.WRITE, window_index=0, window_offset=0,
+        segments=(PhysSegment(0, 64),), done=cluster.env.event(),
+    )
+    engine._ring._items.append(request)
+    engine._ring._items.append(request)
+    violations = check_dma_engine(engine, "host0.right")
+    assert any(v.rule == "dma-descriptor-reuse" and "twice" in v.detail
+               for v in violations)
+
+
+def test_fresh_engine_clean():
+    cluster = _probed_pair()
+    engine = cluster.driver(0, "right").endpoint.dma
+    assert check_dma_engine(engine, "host0.right") == []
+
+
+# ------------------------------------------------- doorbell write-while-pending
+def test_masked_pending_doorbell_flagged():
+    env = Environment()
+    doorbell = DoorbellRegister(env, name="db")
+    doorbell.set_mask(3)
+    doorbell.latch(3)  # rings while masked: latched, never delivered
+    violations = check_doorbell(doorbell, "host1.left")
+    assert [v.rule for v in violations] == ["doorbell-write-while-pending"]
+    assert "[3]" in violations[0].detail
+
+
+def test_unmasked_pending_doorbell_not_flagged():
+    # Pending-but-unmasked just means the ISR has not run yet — the
+    # interrupt fired, delivery is in progress, nothing is lost.
+    env = Environment()
+    doorbell = DoorbellRegister(env, name="db")
+    doorbell.latch(5)
+    assert check_doorbell(doorbell, "host1.left") == []
+
+
+def test_clean_doorbell():
+    env = Environment()
+    doorbell = DoorbellRegister(env, name="db")
+    assert check_doorbell(doorbell, "host1.left") == []
+
+
+# ----------------------------------------------------------------- cluster walk
+def test_check_cluster_clean_after_real_run():
+    def main(pe):
+        sym = yield from pe.malloc_array(8, np.int64)
+        right = (pe.my_pe() + 1) % pe.num_pes()
+        yield from pe.put_array(
+            sym, np.full(8, pe.my_pe(), dtype=np.int64), right
+        )
+        yield from pe.barrier_all()
+        return pe.my_pe()
+
+    report = run_spmd(main, n_pes=3)
+    assert check_cluster(report.cluster, strict=True) == []
+
+
+def test_check_cluster_strict_raises():
+    cluster = _probed_pair()
+    doorbell = cluster.driver(0, "right").endpoint.doorbell
+    doorbell.set_mask(2)
+    doorbell.latch(2)
+    with pytest.raises(InvariantError) as excinfo:
+        check_cluster(cluster, strict=True)
+    assert "doorbell-write-while-pending" in str(excinfo.value)
+    # Non-strict returns the violations instead.
+    violations = check_cluster(cluster, strict=False)
+    assert len(violations) == 1
+
+
+def test_sanitized_run_spmd_checks_invariants():
+    """run_spmd wires check_cluster in automatically when sanitizing."""
+
+    def main(pe):
+        yield from pe.barrier_all()
+        return True
+
+    report = run_spmd(main, n_pes=2,
+                      shmem_config=ShmemConfig(sanitize="strict"))
+    assert report.results == [True, True]
+
+
+def test_render_violations():
+    assert "all hold" in render_violations([])
+    env = Environment()
+    doorbell = DoorbellRegister(env, name="db")
+    doorbell.set_mask(1)
+    doorbell.latch(1)
+    text = render_violations(check_doorbell(doorbell, "hostX"))
+    assert "hostX" in text and "doorbell" in text

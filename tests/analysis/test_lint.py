@@ -1,0 +1,160 @@
+"""The determinism/layering lint: rule triggers, suppression, clean tree."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import lint_file, lint_paths, main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _write(tmp_path: Path, relative: str, source: str) -> Path:
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+# ----------------------------------------------------------- rule: wallclock
+def test_time_import_flagged_in_simulated_package(tmp_path):
+    path = _write(tmp_path, "repro/sim/bad.py", "import time\n")
+    issues = lint_file(path)
+    assert [issue.rule for issue in issues] == ["wallclock"]
+    assert issues[0].line == 1
+
+
+def test_random_from_import_flagged(tmp_path):
+    path = _write(tmp_path, "repro/ntb/bad.py",
+                  "from random import randint\n")
+    assert [issue.rule for issue in lint_file(path)] == ["wallclock"]
+
+
+def test_numpy_random_attribute_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "import numpy as np\nvalue = np.random.rand()\n",
+    )
+    issues = lint_file(path)
+    assert [issue.rule for issue in issues] == ["wallclock"]
+    assert issues[0].line == 2
+
+
+def test_wallclock_allowed_outside_simulated_packages(tmp_path):
+    path = _write(tmp_path, "repro/bench/timing.py",
+                  "import time\nt0 = time.perf_counter()\n")
+    assert lint_file(path) == []
+
+
+# ----------------------------------------------------------- rule: bare-yield
+def test_bare_yield_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "def proc(env):\n    yield\n",
+    )
+    issues = lint_file(path)
+    assert [issue.rule for issue in issues] == ["bare-yield"]
+
+
+def test_constant_yield_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "def proc(env):\n    yield 5\n",
+    )
+    assert [issue.rule for issue in lint_file(path)] == ["bare-yield"]
+
+
+def test_yield_of_expression_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/good.py",
+        "def proc(env):\n    yield env.timeout(1.0)\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_pragma_suppresses(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/ok.py",
+        "def proc(env):\n"
+        "    return\n"
+        "    yield  # pragma: no cover - keeps this a generator\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_lint_skip_marker_suppresses(tmp_path):
+    path = _write(
+        tmp_path, "repro/sim/ok.py",
+        "import time  # lint: skip\n",
+    )
+    assert lint_file(path) == []
+
+
+# ---------------------------------------------------- rule: register-mutation
+def test_register_mutation_outside_ntb_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "def poke(endpoint):\n"
+        "    endpoint.doorbell._pending = 0\n"
+        "    endpoint.incoming[0].translation_address = 4096\n",
+    )
+    issues = lint_file(path)
+    assert [issue.rule for issue in issues] == ["register-mutation"] * 2
+
+
+def test_register_mutation_inside_ntb_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/ntb/device_like.py",
+        "def program(window):\n"
+        "    window.translation_address = 4096\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_self_mutation_allowed_anywhere(tmp_path):
+    path = _write(
+        tmp_path, "repro/sim/thing.py",
+        "class Tracer:\n"
+        "    def __init__(self, enabled):\n"
+        "        self.enabled = enabled\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_augassign_register_mutation_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "def poke(db):\n    db._mask |= 1\n",
+    )
+    assert [issue.rule for issue in lint_file(path)] == ["register-mutation"]
+
+
+# ---------------------------------------------------------------- whole tree
+def test_repo_source_tree_is_clean():
+    issues = lint_paths([REPO_SRC])
+    assert issues == [], "\n".join(str(issue) for issue in issues)
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    path = _write(tmp_path, "repro/core/broken.py", "def f(:\n")
+    issues = lint_file(path)
+    assert [issue.rule for issue in issues] == ["syntax"]
+
+
+def test_main_exit_codes(tmp_path):
+    bad = _write(tmp_path, "repro/sim/bad.py", "import random\n")
+    good = _write(tmp_path, "repro/bench/good.py", "x = 1\n")
+    assert main([str(good)]) == 0
+    assert main([str(bad)]) == 1
+    assert main([str(tmp_path / "missing.py")]) == 2
+
+
+def test_cli_module_invocation():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", str(REPO_SRC)],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
