@@ -8,13 +8,17 @@ neighbor sent — then shows gets, atomics and a reduction.
 Usage::
 
     python examples/quickstart.py
+    python examples/quickstart.py --trace trace.json   # span-traced run
 """
 
 from __future__ import annotations
 
+import argparse
+
 import numpy as np
 
 from repro import Mode, run_spmd
+from repro.core import ShmemConfig
 
 
 def main(pe):
@@ -73,7 +77,14 @@ def main(pe):
 
 
 if __name__ == "__main__":
-    report = run_spmd(main, n_pes=3)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record causal spans and export a Chrome "
+                             "trace-event (Perfetto) JSON")
+    args = parser.parse_args()
+
+    config = ShmemConfig(trace_spans=True) if args.trace else None
+    report = run_spmd(main, n_pes=3, shmem_config=config)
     print(f"simulated {report.elapsed_us / 1000:.2f} virtual ms "
           f"on a 3-host PCIe NTB ring\n")
     for result in report.results:
@@ -84,3 +95,11 @@ if __name__ == "__main__":
     stats = report.stats()
     print(f"\ntotals: {stats['puts']} puts, {stats['gets']} gets, "
           f"{stats['amos']} atomics")
+
+    if args.trace:
+        from repro.obsv import dump_chrome_trace
+
+        dump_chrome_trace(report.scope, args.trace)
+        print(f"wrote {len(report.scope.spans)} spans to {args.trace} "
+              f"(open in https://ui.perfetto.dev or run "
+              f"'python -m repro.obsv {args.trace}')")

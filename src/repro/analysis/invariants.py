@@ -14,7 +14,12 @@ quiescent model (no simulated time is consumed) and returns a list of
   request object queued twice): the engine would walk freed descriptors;
 * **doorbell write-while-pending** — a doorbell bit latched while masked at
   quiescence: the producer rang, nobody will ever be interrupted, and the
-  signal (barrier token, ACK, ...) is silently lost.
+  signal (barrier token, ACK, ...) is silently lost;
+* **span balance** — when span tracing (:mod:`repro.obsv`) was on, every
+  span must be closed at quiescence and every message binding adopted:
+  an open span means an instrumentation site leaked an enter without its
+  exit (or a protocol actor died mid-operation), an unadopted binding
+  means a message was sent but never decoded by a receiver.
 
 ``check_cluster`` walks every adapter of a cluster and is invoked by
 :func:`repro.core.program.run_spmd` after each sanitized run (strict mode
@@ -33,7 +38,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..ntb.doorbell import DoorbellRegister
 
 __all__ = ["InvariantError", "InvariantViolation", "check_cluster",
-           "check_endpoint_windows", "check_dma_engine", "check_doorbell"]
+           "check_endpoint_windows", "check_dma_engine", "check_doorbell",
+           "check_span_balance"]
 
 
 class InvariantError(Exception):
@@ -134,6 +140,27 @@ def check_doorbell(doorbell: "DoorbellRegister",
     return violations
 
 
+def check_span_balance(scope,
+                       component: str = "obsv") -> List[InvariantViolation]:
+    """Every span closed, every message binding adopted, at quiescence."""
+    violations: List[InvariantViolation] = []
+    for span in scope.open_spans():
+        violations.append(InvariantViolation(
+            "span-unbalanced", component,
+            f"span #{span.span_id} {span.name!r} on track "
+            f"{span.track!r} opened at t={span.start:.1f}us was never "
+            f"closed (leaked enter or actor died mid-operation)",
+        ))
+    pending = scope.pending_bindings()
+    if pending:
+        violations.append(InvariantViolation(
+            "span-unbalanced", component,
+            f"{pending} message span binding(s) were never adopted by a "
+            f"receiver (message sent but not decoded)",
+        ))
+    return violations
+
+
 def check_cluster(cluster: "Cluster",
                   strict: bool = True) -> List[InvariantViolation]:
     """Run all model checks over every adapter of ``cluster``.
@@ -148,6 +175,9 @@ def check_cluster(cluster: "Cluster",
         violations += check_endpoint_windows(endpoint, component)
         violations += check_dma_engine(endpoint.dma, component)
         violations += check_doorbell(endpoint.doorbell, component)
+    scope = getattr(cluster, "scope", None)
+    if scope is not None:
+        violations += check_span_balance(scope)
     if strict and violations:
         raise InvariantError(violations)
     return violations

@@ -27,6 +27,14 @@ Rules
     driver API — poking ``endpoint.doorbell._pending`` from the runtime is
     how real drivers corrupt hardware state.
 
+``span-discipline``
+    Observability spans must be statically balanced: outside ``repro/obsv``
+    only the ``with scope.span(...)`` context manager may be used.  Calling
+    the low-level ``span_open``/``span_close`` primitives elsewhere can
+    leak an open span past quiescence (the invariant auditor's
+    ``span-unbalanced`` check would fire at runtime; this rule catches it
+    at lint time).
+
 Any line containing ``pragma: no cover`` or ``lint: skip`` is exempt from
 all rules.
 """
@@ -57,6 +65,11 @@ REGISTER_ATTRS = frozenset({
 
 #: package allowed to mutate register state.
 DEVICE_PACKAGE = "ntb"
+
+#: low-level span primitives (the span-discipline rule) and the only
+#: package allowed to call them.
+SPAN_PRIMITIVES = frozenset({"span_open", "span_close"})
+OBSV_PACKAGE = "obsv"
 
 _SUPPRESS_MARKERS = ("pragma: no cover", "lint: skip")
 
@@ -147,6 +160,20 @@ class _Checker(ast.NodeVisitor):
                     "global RNG state; thread an explicit Generator "
                     "through the config instead",
                 )
+        self.generic_visit(node)
+
+    # --------------------------------------------- rule: span-discipline
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in SPAN_PRIMITIVES
+                and self.package is not None
+                and self.package != OBSV_PACKAGE):
+            self._emit(
+                node, "span-discipline",
+                f"call to low-level {func.attr!r} outside repro/obsv: "
+                f"use 'with scope.span(...)' so enter/exit stay balanced",
+            )
         self.generic_visit(node)
 
     # ------------------------------------------------------- rule: bare-yield

@@ -6,6 +6,8 @@ Options::
     python -m repro.bench --full          # the paper's 10-size grid
     python -m repro.bench --ablations     # also run the ablation suite
     python -m repro.bench --json out.json # dump rows as JSON
+    python -m repro.bench --trace t.json  # span-trace fig9, export Perfetto
+    python -m repro.bench --smoke         # fig9-only small sizes (CI)
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ import sys
 import time
 
 from .harness import run_all
-from .reporting import render_table
+from .reporting import render_percentiles, render_table
 
 
 def _run_ablations() -> None:
@@ -57,14 +59,56 @@ def main(argv: list[str] | None = None) -> int:
                         help="also run the DESIGN.md §6 ablation suite")
     parser.add_argument("--json", metavar="PATH",
                         help="write all measured rows to a JSON file")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="enable span tracing on the fig9 sweep and "
+                             "write a Chrome trace-event (Perfetto) JSON")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fig9-only 1KB/8KB smoke run (fast; skips "
+                             "shape checks — sizes are off-grid)")
     args = parser.parse_args(argv)
 
     t0 = time.perf_counter()
-    report = run_all(quick=not args.full)
-    print(report.render())
+    scope = None
+    if args.smoke:
+        from .experiments.fig9 import run_fig9
+
+        fig9 = run_fig9(sizes=[1 << 10, 1 << 13],
+                        trace=args.trace is not None)
+        rows = fig9.rows
+        scope = fig9.scope
+        print(render_table(
+            [r for r in rows if r.experiment == "fig9a"],
+            "Fig 9(a) Put latency, smoke sizes [us]"))
+        print()
+        print(render_table(
+            [r for r in rows if r.experiment == "fig9b"],
+            "Fig 9(b) Get latency, smoke sizes [us]"))
+        if args.trace:
+            print()
+            print(render_percentiles(
+                rows, "fig9 latency percentiles (traced)"))
+        report = None
+    else:
+        report = run_all(quick=not args.full,
+                         trace=args.trace is not None)
+        rows = report.rows
+        scope = report.scope
+        print(report.render())
 
     if args.ablations:
         _run_ablations()
+
+    if args.trace:
+        if scope is None:
+            print("--trace: no scope produced (nothing to export)",
+                  file=sys.stderr)
+            return 1
+        from ..obsv import dump_chrome_trace
+
+        dump_chrome_trace(scope, args.trace)
+        print(f"\nwrote {len(scope.spans)} spans to {args.trace} "
+              f"(open in https://ui.perfetto.dev or inspect with "
+              f"'python -m repro.obsv {args.trace}')")
 
     if args.json:
         payload = [
@@ -76,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
                 "unit": row.unit,
                 **row.extra,
             }
-            for row in report.rows
+            for row in rows
         ]
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -84,7 +128,7 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"\nwall time: {time.perf_counter() - t0:.1f}s; "
           "all values are virtual-time measurements")
-    if not report.all_shapes_pass:
+    if report is not None and not report.all_shapes_pass:
         print("SOME SHAPE CHECKS FAILED", file=sys.stderr)
         return 1
     return 0

@@ -9,8 +9,9 @@ matching how the paper derives (c)/(d) from (a)/(b).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from ...core import Mode, ShmemConfig, run_spmd
 from ...fabric import ClusterConfig
@@ -30,6 +31,8 @@ CONFIGS = [
 @dataclass
 class Fig9Result:
     rows: list[Row]
+    #: the span scope when the sweep ran with tracing (None otherwise).
+    scope: Optional[Any] = None
 
     def series(self, experiment: str, name: str) -> dict[int, float]:
         return {
@@ -41,11 +44,22 @@ class Fig9Result:
 
 def run_fig9(sizes: Optional[list[int]] = None,
              shmem_config: Optional[ShmemConfig] = None,
-             n_pes: int = 3) -> Fig9Result:
+             n_pes: int = 3, trace: bool = False) -> Fig9Result:
     """Regenerate Fig. 9(a)–(d); rows land in experiments ``fig9a``
     (put latency), ``fig9b`` (get latency), ``fig9c``/``fig9d``
-    (derived throughputs)."""
+    (derived throughputs).
+
+    ``trace=True`` turns on span tracing for the sweep: latency rows
+    carry ``p50_us``/``p99_us`` from the per-op×size×hop histograms in
+    ``Row.extra`` and the scope lands in ``Fig9Result.scope`` (export it
+    with :func:`repro.obsv.dump_chrome_trace`).  Tracing never consumes
+    virtual time, so the measured values are identical either way.
+    """
     sizes = sizes or PAPER_SIZES
+    if trace:
+        shmem_config = dataclasses.replace(
+            shmem_config or ShmemConfig(), trace_spans=True
+        )
     max_size = max(sizes)
     measurements: dict[tuple[str, str, int], float] = {}
 
@@ -72,14 +86,24 @@ def run_fig9(sizes: Optional[list[int]] = None,
                 yield from pe.barrier_all()
         return True
 
-    run_spmd(main, n_pes=n_pes,
-             cluster_config=ClusterConfig(n_hosts=n_pes),
-             shmem_config=shmem_config)
+    report = run_spmd(main, n_pes=n_pes,
+                      cluster_config=ClusterConfig(n_hosts=n_pes),
+                      shmem_config=shmem_config)
+    scope = report.scope
 
+    series_key = {series: (mode, hops) for series, mode, hops in CONFIGS}
     rows: list[Row] = []
     for (op, series, size), latency in measurements.items():
         lat_exp = "fig9a" if op == "put" else "fig9b"
         thr_exp = "fig9c" if op == "put" else "fig9d"
-        rows.append(Row(lat_exp, series, size, latency, "us"))
-        rows.append(Row(thr_exp, series, size, size / latency, "MB/s"))
-    return Fig9Result(rows)
+        extra: dict[str, Any] = {}
+        if scope is not None:
+            mode, hops = series_key[series]
+            hist = scope.hist.get(f"{op}.{mode.name}.{size}B.{hops}hop")
+            if hist is not None:
+                summary = hist.summary()
+                extra = {"p50_us": summary.p50, "p99_us": summary.p99}
+        rows.append(Row(lat_exp, series, size, latency, "us", dict(extra)))
+        rows.append(Row(thr_exp, series, size, size / latency, "MB/s",
+                        dict(extra)))
+    return Fig9Result(rows, scope=scope)

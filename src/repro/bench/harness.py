@@ -11,7 +11,7 @@ the authors' testbed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from .experiments.fig8 import run_fig8
 from .experiments.fig9 import run_fig9
@@ -22,6 +22,7 @@ from .reporting import (
     Row,
     ShapeCheck,
     check_shapes,
+    render_percentiles,
     render_table,
 )
 
@@ -160,6 +161,8 @@ class ExperimentReport:
 
     rows: list[Row] = field(default_factory=list)
     shape_results: list[tuple[str, str, bool]] = field(default_factory=list)
+    #: fig9's span scope when the harness ran with tracing (for export).
+    scope: Optional[Any] = None
 
     def rows_for(self, experiment: str) -> list[Row]:
         return [row for row in self.rows if row.experiment == experiment]
@@ -186,6 +189,12 @@ class ExperimentReport:
             rows = self.rows_for(experiment)
             if rows:
                 sections.append(render_table(rows, title))
+        traced = [r for r in self.rows
+                  if r.experiment in ("fig9a", "fig9b")
+                  and "p50_us" in r.extra]
+        if traced:
+            sections.append(render_percentiles(
+                traced, "Fig 9 latency percentiles (traced run)"))
         shape_lines = ["", "shape checks vs paper:"]
         for experiment, description, passed in self.shape_results:
             marker = "PASS" if passed else "FAIL"
@@ -195,10 +204,12 @@ class ExperimentReport:
 
 
 def run_all(sizes: Optional[list[int]] = None,
-            quick: bool = False) -> ExperimentReport:
+            quick: bool = False, trace: bool = False) -> ExperimentReport:
     """Regenerate every table and figure.
 
     ``quick=True`` sweeps a 4-point size grid instead of the paper's 10.
+    ``trace=True`` runs fig9 with span tracing: its latency rows carry
+    p50/p99 in ``Row.extra`` and ``report.scope`` holds the spans.
     """
     if sizes is None:
         sizes = ([1 << 10, 1 << 13, 1 << 16, 1 << 19] if quick
@@ -217,8 +228,9 @@ def run_all(sizes: Optional[list[int]] = None,
             fig8d_shape_checks()):
         report.shape_results.append(("fig8d", description, passed))
 
-    fig9 = run_fig9(sizes=sizes)
+    fig9 = run_fig9(sizes=sizes, trace=trace)
     report.rows.extend(fig9.rows)
+    report.scope = fig9.scope
     for experiment, checks in fig9_shape_checks().items():
         for description, passed in check_shapes(
                 [r for r in fig9.rows if r.experiment == experiment],

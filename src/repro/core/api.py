@@ -295,15 +295,17 @@ class PE:
         except KeyError:
             raise ShmemError(f"unknown wait_until op {op!r}") from None
         rt = self.rt
-        while True:
-            # Unrecorded load straight off the heap (sync-read exemption).
-            cell = int(rt.heap.read(addr, 8).view(np.int64)[0])
-            if cmp(cell, value):
-                if rt.san is not None:
-                    rt.san.sync_acquire(rt.my_pe_id, rt.my_pe_id,
-                                        addr.offset, 8)
-                return cell
-            yield rt.heap_updated.wait()
+        with rt.scope.span("wait_until", category="op", track=rt.name,
+                           pe=rt.my_pe_id, op=op, value=value):
+            while True:
+                # Unrecorded load off the heap (sync-read exemption).
+                cell = int(rt.heap.read(addr, 8).view(np.int64)[0])
+                if cmp(cell, value):
+                    if rt.san is not None:
+                        rt.san.sync_acquire(rt.my_pe_id, rt.my_pe_id,
+                                            addr.offset, 8)
+                    return cell
+                yield rt.heap_updated.wait()
 
     # -- atomics ---------------------------------------------------------------
     def atomic_fetch(self, addr: SymAddr, pe: int) -> Generator:

@@ -89,10 +89,13 @@ class _TokenBarrier:
         self._end_tokens -= 1
 
     def _ring_bit(self, side: str, bit: int) -> Generator:
-        # Flush our store-and-forward pipeline first: the token must not
-        # overtake data we are relaying for other PEs.
-        yield from self.rt.forwarding_quiesce()
-        yield from self.rt.links[side].driver.ring_doorbell(bit)
+        token = ("start" if bit == DOORBELL_BARRIER_START else "end")
+        with self.rt.scope.span("barrier_token", category="op",
+                                track=self.rt.name, token=token, side=side):
+            # Flush our store-and-forward pipeline first: the token must
+            # not overtake data we are relaying for other PEs.
+            yield from self.rt.forwarding_quiesce()
+            yield from self.rt.links[side].driver.ring_doorbell(bit)
 
 
 class RingBarrier(_TokenBarrier):

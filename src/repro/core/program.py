@@ -43,6 +43,9 @@ class SpmdReport:
     races: list[RaceReport] = field(default_factory=list)
     #: the detector itself (None when sanitization was off).
     sanitizer: Optional[ShmemSan] = None
+    #: the span scope (:class:`repro.obsv.spans.ShmemScope`) when
+    #: ``ShmemConfig(trace_spans=True)``; None otherwise.
+    scope: Optional[Any] = None
 
     @property
     def env(self) -> Environment:
@@ -92,6 +95,9 @@ class SpmdReport:
                 )
         if len(lines) == 1:
             lines.append("  (no instrumented operations recorded)")
+        if self.scope is not None and list(self.scope.hist.items()):
+            lines.append("")
+            lines.append(self.scope.hist.render())
         return "\n".join(lines)
 
 
@@ -197,6 +203,7 @@ def run_spmd(main: PeMain, n_pes: int = 3,
         pes=pes,
         races=list(sanitizer.reports) if sanitizer is not None else [],
         sanitizer=sanitizer,
+        scope=getattr(cluster, "scope", None),
     )
 
 

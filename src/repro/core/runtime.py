@@ -29,6 +29,7 @@ from ..fabric import Cluster, Direction, RoutingPolicy
 from ..host import Host, PinnedBuffer
 from ..ntb import NtbDriver
 from ..ntb.device import BYPASS_WINDOW, DATA_WINDOW
+from ..obsv.spans import NULL_SCOPE, ShmemScope, instrument_cluster
 from ..sim import Environment, Event, Signal, Tracer
 from .errors import (
     BadPeError,
@@ -130,6 +131,9 @@ class ShmemConfig:
     #: memory).  Accesses are checked per cell, so two PEs touching
     #: different fields of the same cell can be conservatively flagged.
     sanitize_granularity: int = 8
+    #: ShmemScope span tracing (repro.obsv): record a causal span tree
+    #: per operation.  Zero virtual-time cost; off by default.
+    trace_spans: bool = False
 
     def __post_init__(self) -> None:
         if self.rx_data_size < 4096:
@@ -241,6 +245,18 @@ class ShmemRuntime:
                 )
                 cluster.shmemsan = san
             self.san = san
+        #: ShmemScope, shared cluster-wide like the sanitizer: the first
+        #: tracing runtime creates it and wires the hardware layers.
+        self.scope = NULL_SCOPE
+        if self.config.trace_spans:
+            scope = getattr(cluster, "scope", None)
+            if scope is None:
+                scope = ShmemScope(self.env)
+                cluster.scope = scope
+                instrument_cluster(cluster, scope)
+            self.scope = scope
+        if self.san is not None and self.scope.enabled:
+            self.san.scope = self.scope
 
     # ------------------------------------------------------------------ init
     def initialize(self) -> Generator:
@@ -460,16 +476,24 @@ class ShmemRuntime:
         if nbytes <= 0:
             raise TransferError(f"put size must be positive, got {nbytes}")
         self.put_count += 1
-        if self.san is not None:
-            self.san.record_write(self.my_pe_id, pe, dest.offset, nbytes,
-                                  "put", self.env.now)
+        hops = 0 if pe == self.my_pe_id else self.route_to(pe).hops
         op_start = self.env.now
         try:
-            yield from self._put_inner(dest, src_virt, nbytes, pe, mode)
+            with self.scope.span("put", category="op", track=self.name,
+                                 pe=self.my_pe_id, peer=pe, nbytes=nbytes,
+                                 mode=mode.name, hops=hops):
+                if self.san is not None:
+                    self.san.record_write(self.my_pe_id, pe, dest.offset,
+                                          nbytes, "put", self.env.now)
+                yield from self._put_inner(dest, src_virt, nbytes, pe, mode)
         finally:
             self.tracer.observe(f"{self.name}.put_us",
                                 self.env.now - op_start)
             self.tracer.count(f"{self.name}.put", nbytes=nbytes)
+            self.scope.hist.observe(
+                f"put.{mode.name}.{nbytes}B.{hops}hop",
+                self.env.now - op_start,
+            )
 
     def _put_inner(self, dest: SymAddr, src_virt: int, nbytes: int,
                    pe: int, mode: Mode) -> Generator:
@@ -523,16 +547,24 @@ class ShmemRuntime:
         if nbytes <= 0:
             raise TransferError(f"get size must be positive, got {nbytes}")
         self.get_count += 1
-        if self.san is not None:
-            self.san.record_read(self.my_pe_id, pe, src.offset, nbytes,
-                                 "get", self.env.now)
+        hops = 0 if pe == self.my_pe_id else self.route_to(pe).hops
         op_start = self.env.now
         try:
-            yield from self._get_inner(src, nbytes, pe, dest_virt, mode)
+            with self.scope.span("get", category="op", track=self.name,
+                                 pe=self.my_pe_id, peer=pe, nbytes=nbytes,
+                                 mode=mode.name, hops=hops):
+                if self.san is not None:
+                    self.san.record_read(self.my_pe_id, pe, src.offset,
+                                         nbytes, "get", self.env.now)
+                yield from self._get_inner(src, nbytes, pe, dest_virt, mode)
         finally:
             self.tracer.observe(f"{self.name}.get_us",
                                 self.env.now - op_start)
             self.tracer.count(f"{self.name}.get", nbytes=nbytes)
+            self.scope.hist.observe(
+                f"get.{mode.name}.{nbytes}B.{hops}hop",
+                self.env.now - op_start,
+            )
 
     def _get_inner(self, src: SymAddr, nbytes: int, pe: int,
                    dest_virt: int, mode: Mode) -> Generator:
@@ -580,9 +612,17 @@ class ShmemRuntime:
         if op not in AmoOp.ALL:
             raise TransferError(f"unknown AMO op {op}")
         self.amo_count += 1
-        if self.san is not None:
-            self.san.record_atomic(self.my_pe_id, pe, target.offset, 8,
-                                   f"amo:{op}", self.env.now)
+        hops = 0 if pe == self.my_pe_id else self.route_to(pe).hops
+        with self.scope.span("amo", category="op", track=self.name,
+                             pe=self.my_pe_id, peer=pe, op=op, hops=hops):
+            if self.san is not None:
+                self.san.record_atomic(self.my_pe_id, pe, target.offset, 8,
+                                       f"amo:{op}", self.env.now)
+            old = yield from self._amo_inner(pe, target, op, value, compare)
+        return old
+
+    def _amo_inner(self, pe: int, target: SymAddr, op: int, value: int,
+                   compare: int) -> Generator:
         if pe == self.my_pe_id:
             # Local fast path still serializes through the service thread
             # for atomicity with concurrent remote AMOs.
@@ -729,15 +769,20 @@ class ShmemRuntime:
         """``shmem_barrier_all()`` — quiesce, then run the strategy."""
         self._check_ready()
         op_start = self.env.now
-        yield from self.quiet()
-        if self.san is not None:
-            self.san.barrier_enter(self.my_pe_id)
-        assert self.barrier is not None
-        yield from self.barrier.wait()
-        if self.san is not None:
-            self.san.barrier_exit(self.my_pe_id)
+        with self.scope.span("barrier", category="op", track=self.name,
+                             pe=self.my_pe_id,
+                             strategy=self.config.barrier):
+            yield from self.quiet()
+            if self.san is not None:
+                self.san.barrier_enter(self.my_pe_id)
+            assert self.barrier is not None
+            yield from self.barrier.wait()
+            if self.san is not None:
+                self.san.barrier_exit(self.my_pe_id)
         self.tracer.observe(f"{self.name}.barrier_us",
                             self.env.now - op_start)
+        self.scope.hist.observe(f"barrier.{self.config.barrier}",
+                                self.env.now - op_start)
 
     # ------------------------------------------------------------------ misc
     def malloc(self, nbytes: int) -> Generator:

@@ -85,16 +85,22 @@ class RaceReport:
     second_kind: str
     second_op: str
     second_time: float
+    #: spans active at each access when tracing was on ("" otherwise) —
+    #: ``track:name`` labels from :class:`repro.obsv.spans.ShmemScope`.
+    first_span: str = ""
+    second_span: str = ""
 
     def describe(self) -> str:
+        first_in = f" in {self.first_span}" if self.first_span else ""
+        second_in = f" in {self.second_span}" if self.second_span else ""
         return (
             f"data race on PE {self.owner_pe}'s symmetric heap "
             f"[{self.start:#x}, {self.end:#x}): "
             f"{self.first_kind} by PE {self.first_pe} ({self.first_op}, "
-            f"t={self.first_time:.1f}us) is unordered with "
+            f"t={self.first_time:.1f}us{first_in}) is unordered with "
             f"{self.second_kind} by PE {self.second_pe} ({self.second_op}, "
-            f"t={self.second_time:.1f}us); add a barrier_all/quiet+signal "
-            f"between them"
+            f"t={self.second_time:.1f}us{second_in}); add a "
+            f"barrier_all/quiet+signal between them"
         )
 
 
@@ -113,7 +119,11 @@ def render_race_table(reports: Iterable[RaceReport],
     for index, r in enumerate(rows):
         span = f"[{r.start:#x},{r.end:#x})"
         first = f"{r.first_kind} pe{r.first_pe} t={r.first_time:.1f}"
+        if r.first_span:
+            first += f" [{r.first_span}]"
         second = f"{r.second_kind} pe{r.second_pe} t={r.second_time:.1f}"
+        if r.second_span:
+            second += f" [{r.second_span}]"
         lines.append(f"{index:>3} {r.owner_pe:>8} {span:<22} "
                      f"{first:<26} {second:<26}")
     return "\n".join(lines)
@@ -123,7 +133,7 @@ class _Cell:
     """Shadow state for one granule of one PE's symmetric heap."""
 
     __slots__ = ("write_pe", "write_epoch", "write_vc", "write_time",
-                 "write_op", "write_kind", "reads", "sync_vc")
+                 "write_op", "write_kind", "write_span", "reads", "sync_vc")
 
     def __init__(self) -> None:
         self.write_pe: Optional[int] = None
@@ -132,8 +142,9 @@ class _Cell:
         self.write_time = 0.0
         self.write_op = ""
         self.write_kind = AccessKind.WRITE
-        #: pe -> (epoch, time, op) of that PE's most recent read
-        self.reads: dict[int, tuple[int, float, str]] = {}
+        self.write_span = ""
+        #: pe -> (epoch, time, op, span) of that PE's most recent read
+        self.reads: dict[int, tuple[int, float, str, str]] = {}
         #: release chain for atomics on this cell (lock semantics)
         self.sync_vc: Optional[tuple[int, ...]] = None
 
@@ -161,6 +172,10 @@ class ShmemSan:
         self.mode = mode
         self.granularity = granularity
         self.tracer = tracer
+        #: :class:`repro.obsv.spans.ShmemScope` when span tracing is on
+        #: (set by the runtime); lets race reports name the spans active
+        #: at both racing accesses.
+        self.scope = None
         self.reports: list[RaceReport] = []
         # Each PE starts in its own epoch 1: epoch 0 means "never touched",
         # so a fresh access is never mistaken for an already-ordered one.
@@ -191,6 +206,12 @@ class ShmemSan:
             if value > clock[index]:
                 clock[index] = value
 
+    def _span_label(self) -> str:
+        """``track:name`` of the span active in the calling process."""
+        if self.scope is None:
+            return ""
+        return self.scope.current_label()
+
     # -------------------------------------------------------------- cells
     def _cells(self, owner_pe: int, offset: int,
                nbytes: int) -> Iterable[tuple[int, _Cell]]:
@@ -205,9 +226,9 @@ class ShmemSan:
 
     def _flush_violations(
             self, owner_pe: int,
-            violations: list[tuple[int, tuple[int, str, str, float]]],
+            violations: list[tuple[int, tuple[int, str, str, float, str]]],
             second_pe: int, second_kind: str, second_op: str,
-            now: float) -> None:
+            now: float, second_span: str = "") -> None:
         """Coalesce per-cell violations into contiguous range reports.
 
         One racy 128-byte put is one race, not sixteen — adjacent cells
@@ -216,7 +237,7 @@ class ShmemSan:
         if not violations:
             return
         violations.sort(key=lambda item: item[0])
-        groups: list[tuple[int, int, tuple[int, str, str, float]]] = []
+        groups: list[tuple[int, int, tuple[int, str, str, float, str]]] = []
         for index, first in violations:
             if groups and groups[-1][1] == index and groups[-1][2] == first:
                 start, _end, info = groups.pop()
@@ -224,7 +245,7 @@ class ShmemSan:
             else:
                 groups.append((index, index + 1, first))
         for start_cell, end_cell, first in groups:
-            first_pe, first_kind, first_op, first_time = first
+            first_pe, first_kind, first_op, first_time, first_span = first
             report = RaceReport(
                 owner_pe=owner_pe,
                 start=start_cell * self.granularity,
@@ -233,6 +254,7 @@ class ShmemSan:
                 first_op=first_op, first_time=first_time,
                 second_pe=second_pe, second_kind=second_kind,
                 second_op=second_op, second_time=now,
+                first_span=first_span, second_span=second_span,
             )
             if self.tracer is not None:
                 self.tracer.emit(
@@ -253,21 +275,22 @@ class ShmemSan:
         """A write of ``[offset, offset+nbytes)`` on ``owner_pe``'s heap,
         performed by ``origin_pe`` (put, local store, atomic update)."""
         self.checked_ops += 1
+        span = self._span_label()
         clock = self._clocks[origin_pe]
         snap = self._snapshot(origin_pe)
         epoch = snap[origin_pe]
-        violations: list[tuple[int, tuple[int, str, str, float]]] = []
+        violations: list[tuple[int, tuple[int, str, str, float, str]]] = []
         for index, cell in self._cells(owner_pe, offset, nbytes):
             if (cell.write_pe is not None
                     and cell.write_epoch > clock[cell.write_pe]):
                 violations.append((index, (
                     cell.write_pe, cell.write_kind, cell.write_op,
-                    cell.write_time,
+                    cell.write_time, cell.write_span,
                 )))
-            for reader, (repoch, rtime, rop) in cell.reads.items():
+            for reader, (repoch, rtime, rop, rspan) in cell.reads.items():
                 if reader != origin_pe and repoch > clock[reader]:
                     violations.append((index, (
-                        reader, AccessKind.READ, rop, rtime,
+                        reader, AccessKind.READ, rop, rtime, rspan,
                     )))
             cell.write_pe = origin_pe
             cell.write_epoch = epoch
@@ -275,30 +298,32 @@ class ShmemSan:
             cell.write_time = now
             cell.write_op = op
             cell.write_kind = kind
+            cell.write_span = span
             cell.reads = {}
         self._tick(origin_pe)
         self._flush_violations(owner_pe, violations, origin_pe, kind, op,
-                               now)
+                               now, second_span=span)
 
     def record_read(self, origin_pe: int, owner_pe: int, offset: int,
                     nbytes: int, op: str, now: float) -> None:
         """A read of ``owner_pe``'s heap by ``origin_pe`` (get, local load)."""
         self.checked_ops += 1
+        span = self._span_label()
         clock = self._clocks[origin_pe]
         epoch = clock[origin_pe]
-        violations: list[tuple[int, tuple[int, str, str, float]]] = []
+        violations: list[tuple[int, tuple[int, str, str, float, str]]] = []
         for index, cell in self._cells(owner_pe, offset, nbytes):
             if (cell.write_pe is not None
                     and cell.write_pe != origin_pe
                     and cell.write_epoch > clock[cell.write_pe]):
                 violations.append((index, (
                     cell.write_pe, cell.write_kind, cell.write_op,
-                    cell.write_time,
+                    cell.write_time, cell.write_span,
                 )))
-            cell.reads[origin_pe] = (epoch, now, op)
+            cell.reads[origin_pe] = (epoch, now, op, span)
         self._tick(origin_pe)
         self._flush_violations(owner_pe, violations, origin_pe,
-                               AccessKind.READ, op, now)
+                               AccessKind.READ, op, now, second_span=span)
 
     def record_atomic(self, origin_pe: int, owner_pe: int, offset: int,
                       nbytes: int, op: str, now: float) -> None:

@@ -147,9 +147,15 @@ class ShmemService:
         msg = yield from link.data_mailbox.recv_header(
             link.incoming_spad_block
         )
-        yield from self._dispatch(
-            msg, link, payload_phys=link.rx_data.phys, channel="data"
-        )
+        scope = self.rt.scope
+        # Adopt the sender's span so this hop's work joins its tree.
+        ctx = scope.adopt_msg(msg)
+        with scope.span(f"svc_{msg.kind.name.lower()}", category="service",
+                        track=f"{self.rt.name}.service", parent=ctx,
+                        src=msg.src_pe, dest=msg.dest_pe, nbytes=msg.size):
+            yield from self._dispatch(
+                msg, link, payload_phys=link.rx_data.phys, channel="data"
+            )
 
     def _handle_bypass(self, side: str) -> Generator:
         """A bypass-window message: in-slot header, in-order slots."""
@@ -160,9 +166,16 @@ class ShmemService:
         base = link.rx_bypass.phys + slot * mailbox.slot_stride
         yield from self.rt.host.cpu._charge(_SLOT_HEADER_US)
         msg = unpack_header_bytes(self.rt.host.memory.read(base, 16))
-        yield from self._dispatch(
-            msg, link, payload_phys=base + SLOT_HEADER_BYTES, channel="bypass"
-        )
+        scope = self.rt.scope
+        ctx = scope.adopt_msg(msg)
+        with scope.span(f"svc_{msg.kind.name.lower()}", category="service",
+                        track=f"{self.rt.name}.service", parent=ctx,
+                        src=msg.src_pe, dest=msg.dest_pe, nbytes=msg.size,
+                        slot=slot):
+            yield from self._dispatch(
+                msg, link, payload_phys=base + SLOT_HEADER_BYTES,
+                channel="bypass"
+            )
 
     def _ack(self, link: "LinkEnd", channel: str) -> Generator:
         if channel == "data":
@@ -238,10 +251,12 @@ class ShmemService:
                      channel: str) -> Generator:
         """Fig. 5: destination is me — copy window buffer → symmetric heap."""
         rt = self.rt
-        yield from rt.host.cpu.local_memcpy(msg.size)
-        data = rt.host.memory.read(payload_phys, msg.size)
-        rt.deliver_to_heap(msg.offset, data)
-        yield from self._ack(link, channel)
+        with rt.scope.span("deliver_put", category="service",
+                           track=f"{rt.name}.service", nbytes=msg.size):
+            yield from rt.host.cpu.local_memcpy(msg.size)
+            data = rt.host.memory.read(payload_phys, msg.size)
+            rt.deliver_to_heap(msg.offset, data)
+            yield from self._ack(link, channel)
 
     def _deliver_get_chunk(self, msg: Message, link: "LinkEnd",
                            payload_phys: int, channel: str) -> Generator:
@@ -259,14 +274,16 @@ class ShmemService:
         # The window-target region is mapped uncached in the prototype, so
         # the memcpy-mode drain pays the PIO read rate; the DMA path copies
         # out at cached-memcpy speed (see EXPERIMENTS.md, Fig. 9 notes).
-        if pending.mode is Mode.MEMCPY:
-            yield from rt.host.cpu.pio_read(msg.size)
-        else:
-            yield from rt.host.cpu.local_memcpy(msg.size)
-        data = rt.host.memory.read(payload_phys, msg.size)
-        rt.host.write_user(pending.dest_virt + msg.offset, data)
-        pending.received += msg.size
-        yield from self._ack(link, channel)
+        with rt.scope.span("deliver_get_chunk", category="service",
+                           track=f"{rt.name}.service", nbytes=msg.size):
+            if pending.mode is Mode.MEMCPY:
+                yield from rt.host.cpu.pio_read(msg.size)
+            else:
+                yield from rt.host.cpu.local_memcpy(msg.size)
+            data = rt.host.memory.read(payload_phys, msg.size)
+            rt.host.write_user(pending.dest_virt + msg.offset, data)
+            pending.received += msg.size
+            yield from self._ack(link, channel)
         if pending.received >= pending.nbytes:
             pending.done.succeed()
 
@@ -309,13 +326,16 @@ class ShmemService:
         rt = self.rt
         out_link = self._out_link(in_link)
         next_pe = rt.neighbor_pe(out_link.direction)
-        yield from rt.host.cpu.local_memcpy(msg.size)
-        staging = rt.host.alloc_pinned(max(msg.size, 64))
-        rt.host.memory.write(
-            staging.phys, rt.host.memory.view(payload_phys, msg.size)
-        )
-        yield from self._ack(in_link, channel)
-        self._spawn_task(msg, out_link, next_pe, staging)
+        with rt.scope.span("bypass_forward", category="service",
+                           track=f"{rt.name}.service", nbytes=msg.size,
+                           next_pe=next_pe):
+            yield from rt.host.cpu.local_memcpy(msg.size)
+            staging = rt.host.alloc_pinned(max(msg.size, 64))
+            rt.host.memory.write(
+                staging.phys, rt.host.memory.view(payload_phys, msg.size)
+            )
+            yield from self._ack(in_link, channel)
+            self._spawn_task(msg, out_link, next_pe, staging)
 
     def _send_onward(self, msg: Message, out_link: "LinkEnd",
                      next_pe: Optional[int],
@@ -367,20 +387,25 @@ class ShmemService:
         mailbox TX lock preserve per-direction message order.
         """
         self.active_forwards += 1
-        self.env.process(
+        task = self.env.process(
             self._onward_task(msg, out_link, next_pe, staging),
             name=f"{self.rt.name}.fwd.{msg.kind.name}",
         )
+        # Seed the detached task so its spans stay in this message's tree.
+        self.rt.scope.bind_process(task, self.rt.scope.current_span_id())
 
     def _onward_task(self, msg: Message, out_link: "LinkEnd",
                      next_pe: Optional[int], staging) -> Generator:
         try:
-            payload = None
-            if staging is not None:
-                payload = PayloadSource.from_pinned(
-                    self.rt.host, staging, 0, msg.size
-                )
-            yield from self._send_onward(msg, out_link, next_pe, payload)
+            with self.rt.scope.span("onward_send", category="service",
+                                    track=f"{self.rt.name}.service",
+                                    kind=msg.kind.name, nbytes=msg.size):
+                payload = None
+                if staging is not None:
+                    payload = PayloadSource.from_pinned(
+                        self.rt.host, staging, 0, msg.size
+                    )
+                yield from self._send_onward(msg, out_link, next_pe, payload)
         finally:
             if staging is not None:
                 self.rt.host.free_pinned(staging)
@@ -390,35 +415,40 @@ class ShmemService:
     def _spawn_responder(self, msg: Message, reply_side: str) -> None:
         """Owner side of a Get: stream chunks back along the reverse path."""
         self.active_responders += 1
-        self.env.process(
+        task = self.env.process(
             self._serve_get(msg, reply_side),
             name=f"{self.rt.name}.get_responder.{msg.aux}",
         )
+        self.rt.scope.bind_process(task, self.rt.scope.current_span_id())
 
     def _serve_get(self, msg: Message, reply_side: str) -> Generator:
         rt = self.rt
         chunk = rt.config.get_chunk
         staging = rt.host.alloc_pinned(chunk)
         try:
-            out_link = rt.links[reply_side]
-            next_pe = rt.neighbor_pe(out_link.direction)
-            for chunk_off, chunk_size in chunk_ranges(msg.size, chunk):
-                # heap -> staging (cached copy)
-                yield from rt.host.cpu.local_memcpy(chunk_size)
-                data = rt.heap.read(
-                    SymAddr(msg.offset + chunk_off), chunk_size
-                )
-                rt.host.memory.write(staging.phys, data)
-                payload = PayloadSource.from_pinned(
-                    rt.host, staging, 0, chunk_size
-                )
-                resp = Message(
-                    kind=MsgKind.GET_RESP, mode=msg.mode,
-                    src_pe=rt.my_pe_id, dest_pe=msg.src_pe,
-                    offset=chunk_off, size=chunk_size, aux=msg.aux,
-                    seq=0,  # stamped by _send_onward per mailbox
-                )
-                yield from self._send_onward(resp, out_link, next_pe, payload)
+            with rt.scope.span("serve_get", category="service",
+                               track=f"{rt.name}.service",
+                               nbytes=msg.size, requester=msg.src_pe):
+                out_link = rt.links[reply_side]
+                next_pe = rt.neighbor_pe(out_link.direction)
+                for chunk_off, chunk_size in chunk_ranges(msg.size, chunk):
+                    # heap -> staging (cached copy)
+                    yield from rt.host.cpu.local_memcpy(chunk_size)
+                    data = rt.heap.read(
+                        SymAddr(msg.offset + chunk_off), chunk_size
+                    )
+                    rt.host.memory.write(staging.phys, data)
+                    payload = PayloadSource.from_pinned(
+                        rt.host, staging, 0, chunk_size
+                    )
+                    resp = Message(
+                        kind=MsgKind.GET_RESP, mode=msg.mode,
+                        src_pe=rt.my_pe_id, dest_pe=msg.src_pe,
+                        offset=chunk_off, size=chunk_size, aux=msg.aux,
+                        seq=0,  # stamped by _send_onward per mailbox
+                    )
+                    yield from self._send_onward(resp, out_link, next_pe,
+                                                 payload)
         finally:
             rt.host.free_pinned(staging)
             self.active_responders -= 1
@@ -427,24 +457,29 @@ class ShmemService:
     def _serve_amo(self, msg: Message, link: "LinkEnd", payload_phys: int,
                    channel: str) -> Generator:
         rt = self.rt
-        raw = rt.host.memory.read_bytes(payload_phys, _AMO_REQ_BYTES)
-        op, _dtype, value, compare = struct.unpack(_AMO_REQ_FMT, raw)
-        yield from self._ack(link, channel)
-        old = yield from self.apply_amo_local(msg.offset, op, value, compare)
-        # Reply along the reverse path (detached, like every onward send).
-        out_link = link
-        next_pe = rt.neighbor_pe(out_link.direction)
-        staging = rt.host.alloc_pinned(64)
-        rt.host.memory.write(
-            staging.phys,
-            np.frombuffer(struct.pack(_AMO_RESP_FMT, old), dtype=np.uint8),
-        )
-        resp = Message(
-            kind=MsgKind.AMO_RESP, mode=Mode.DMA,
-            src_pe=rt.my_pe_id, dest_pe=msg.src_pe,
-            offset=msg.offset, size=8, aux=msg.aux, seq=0,
-        )
-        self._spawn_task(resp, out_link, next_pe, staging)
+        with rt.scope.span("serve_amo", category="service",
+                           track=f"{rt.name}.service",
+                           requester=msg.src_pe):
+            raw = rt.host.memory.read_bytes(payload_phys, _AMO_REQ_BYTES)
+            op, _dtype, value, compare = struct.unpack(_AMO_REQ_FMT, raw)
+            yield from self._ack(link, channel)
+            old = yield from self.apply_amo_local(msg.offset, op, value,
+                                                  compare)
+            # Reply along the reverse path (detached, like onward sends).
+            out_link = link
+            next_pe = rt.neighbor_pe(out_link.direction)
+            staging = rt.host.alloc_pinned(64)
+            rt.host.memory.write(
+                staging.phys,
+                np.frombuffer(struct.pack(_AMO_RESP_FMT, old),
+                              dtype=np.uint8),
+            )
+            resp = Message(
+                kind=MsgKind.AMO_RESP, mode=Mode.DMA,
+                src_pe=rt.my_pe_id, dest_pe=msg.src_pe,
+                offset=msg.offset, size=8, aux=msg.aux, seq=0,
+            )
+            self._spawn_task(resp, out_link, next_pe, staging)
 
     def apply_amo_local(self, offset: int, op: int, value: int,
                         compare: int) -> Generator:

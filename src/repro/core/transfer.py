@@ -298,8 +298,11 @@ class DataMailbox(_MailboxBase):
         (payload written + header + doorbell), i.e. locally blocking."""
         if msg.kind.carries_payload and payload is None:
             raise ProtocolError(f"{self.name}: {msg.kind.name} needs payload")
-        request = self._slots.request()
-        yield request
+        scope = self.driver.scope
+        scope.bind_msg(msg, scope.current_span_id())
+        with scope.span("slot_wait", category="mailbox", track=self.name):
+            request = self._slots.request()
+            yield request
         self._outstanding.append(request)
         if payload is not None:
             if msg.size != payload.nbytes:
@@ -307,9 +310,15 @@ class DataMailbox(_MailboxBase):
                     f"{self.name}: header size {msg.size} != payload "
                     f"{payload.nbytes}"
                 )
-            yield from self._write_payload(msg.mode, payload)
+            with scope.span("payload_write", category="mailbox",
+                            track=self.name, nbytes=payload.nbytes,
+                            mode=msg.mode.name):
+                yield from self._write_payload(msg.mode, payload)
         regs = pack_message(msg)
-        yield from self.driver.spad_write_block(self.spad_block, list(regs))
+        with scope.span("header_write", category="mailbox",
+                        track=self.name, kind=msg.kind.name):
+            yield from self.driver.spad_write_block(self.spad_block,
+                                                    list(regs))
         yield from self.driver.ring_doorbell(msg.kind.doorbell_bit)
         self.sent_count += 1
 
@@ -384,32 +393,43 @@ class BypassMailbox(_MailboxBase):
                 f"{self.name}: header size {msg.size} != payload "
                 f"{payload.nbytes}"
             )
-        request = self._slots.request()
-        yield request
+        scope = self.driver.scope
+        scope.bind_msg(msg, scope.current_span_id())
+        with scope.span("slot_wait", category="mailbox", track=self.name):
+            request = self._slots.request()
+            yield request
         self._outstanding.append(request)
         slot = self._next_slot
         self._next_slot = (self._next_slot + 1) % self.slots
         base = slot * self.slot_stride
-        tx = self._tx_lock.request()
-        yield tx
+        with scope.span("tx_wait", category="mailbox", track=self.name,
+                        slot=slot):
+            tx = self._tx_lock.request()
+            yield tx
         try:
             # Payload first, header last: the header's arrival (plus the
             # doorbell) publishes the slot, so the receiver never sees a
             # torn message.
-            if msg.mode is Mode.DMA:
-                dma_req = yield from self.driver.dma_write_segments(
-                    BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
-                    payload.segments()
-                )
-                yield dma_req.done
-            else:
+            with scope.span("payload_write", category="mailbox",
+                            track=self.name, nbytes=payload.nbytes,
+                            mode=msg.mode.name, slot=slot):
+                if msg.mode is Mode.DMA:
+                    dma_req = yield from self.driver.dma_write_segments(
+                        BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
+                        payload.segments()
+                    )
+                    yield dma_req.done
+                else:
+                    yield from self.driver.pio_window_write(
+                        BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
+                        payload.data()
+                    )
+            with scope.span("header_write", category="mailbox",
+                            track=self.name, kind=msg.kind.name, slot=slot):
                 yield from self.driver.pio_window_write(
-                    BYPASS_WINDOW, base + SLOT_HEADER_BYTES, payload.data()
+                    BYPASS_WINDOW, base,
+                    np.frombuffer(pack_header_bytes(msg), dtype=np.uint8)
                 )
-            yield from self.driver.pio_window_write(
-                BYPASS_WINDOW, base, np.frombuffer(pack_header_bytes(msg),
-                                                   dtype=np.uint8)
-            )
             yield from self.driver.ring_doorbell(DOORBELL_BYPASS_MSG)
         finally:
             self._tx_lock.release(tx)

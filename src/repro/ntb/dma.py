@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional, Sequence
 
 from ..memory import PhysSegment, PhysicalMemory
+from ..obsv.spans import NULL_SCOPE
 from ..pcie import Link
 from ..sim import BandwidthServer, Environment, Event, Store, Tracer
 
@@ -119,6 +120,8 @@ class DmaRequest:
     on_complete: Optional[Callable[["DmaRequest"], None]] = None
     submitted_at: float = 0.0
     completed_at: float = field(default=0.0)
+    #: submitter's span at submit time — the engine-side span's parent.
+    ctx_span: Optional[int] = None
 
     @property
     def nbytes(self) -> int:
@@ -144,6 +147,8 @@ class DmaEngine:
         self._pump = BandwidthServer(
             env, config.engine_rate_mbps, name=f"{name}.pump"
         )
+        #: observability sink; replaced by instrument_cluster when tracing.
+        self.scope = NULL_SCOPE
         # Wired by attach():
         self._local_memory: Optional[PhysicalMemory] = None
         self._local_port: Optional[BandwidthServer] = None
@@ -208,6 +213,9 @@ class DmaEngine:
             done=self.env.event(),
             on_complete=on_complete,
             submitted_at=self.env.now,
+            # submit() runs synchronously in the submitter's process, so
+            # this captures the causally-enclosing span (payload_write).
+            ctx_span=self.scope.current_span_id(),
         )
         self._ring.put(request)
         return request
@@ -216,19 +224,24 @@ class DmaEngine:
     def _run(self) -> Generator:
         while True:
             request: DmaRequest = yield self._ring.get()
-            yield self.env.timeout(self.config.setup_time_us)
-            try:
-                if request.direction is DmaDirection.WRITE:
-                    yield from self._do_write(request)
-                else:
-                    yield from self._do_read(request)
-            except LinkDownError as exc:
-                # Engine error status: fail this request, keep serving the
-                # ring (a dead cable must not wedge the whole channel).
-                self.failed_requests += 1
-                request.done.fail(exc)
-                continue
-            yield self.env.timeout(self.config.completion_latency_us)
+            with self.scope.span("dma", category="dma", track=self.name,
+                                 parent=request.ctx_span,
+                                 nbytes=request.nbytes,
+                                 segments=len(request.segments),
+                                 direction=request.direction.value):
+                yield self.env.timeout(self.config.setup_time_us)
+                try:
+                    if request.direction is DmaDirection.WRITE:
+                        yield from self._do_write(request)
+                    else:
+                        yield from self._do_read(request)
+                except LinkDownError as exc:
+                    # Engine error status: fail this request, keep serving
+                    # the ring (a dead cable must not wedge the channel).
+                    self.failed_requests += 1
+                    request.done.fail(exc)
+                    continue
+                yield self.env.timeout(self.config.completion_latency_us)
             request.completed_at = self.env.now
             self.completed_requests += 1
             self.completed_bytes += request.nbytes
@@ -307,6 +320,9 @@ class DmaEngine:
                 self.env.process(dst_port.hold(take)),
                 self.env.process(self._pump.hold(take)),
             ]
+            # Parent the wire-occupancy span (opened inside the spawned
+            # link stage) under this request's engine span.
+            self.scope.bind_process(stages[1], self.scope.current_span_id())
             yield self.env.all_of(stages)
             # Realize the bytes only after the full pipeline completed so a
             # concurrent reader cannot observe data "ahead of time".

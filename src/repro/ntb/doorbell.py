@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..obsv.spans import NULL_SCOPE
 from ..sim import Environment
 
 __all__ = ["DoorbellError", "DoorbellRegister", "DOORBELL_BITS"]
@@ -49,6 +50,8 @@ class DoorbellRegister:
         self.env = env
         self.name = name
         self.edge_per_ring = edge_per_ring
+        #: observability sink; replaced by instrument_cluster when tracing.
+        self.scope = NULL_SCOPE
         self._pending = 0
         self._mask = 0
         #: sink called as ``sink(bit)`` when an unmasked bit newly latches;
@@ -106,6 +109,10 @@ class DoorbellRegister:
     def latch(self, bit: int) -> None:
         """Latch a pending bit, firing the sink per the edge mode."""
         self._check_bit(bit)
+        # latch() runs in the *ringer's* process, so the instant nests
+        # under the sender's doorbell_ring span.
+        self.scope.instant("doorbell_latch", category="driver",
+                           track=self.name, bit=bit)
         flag = 1 << bit
         already = self._pending & flag
         self._pending |= flag

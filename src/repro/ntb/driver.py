@@ -22,6 +22,7 @@ import numpy as np
 
 from ..host.node import Host
 from ..memory import PhysSegment
+from ..obsv.spans import NULL_SCOPE
 from ..pcie.config import (
     COMMAND_BUS_MASTER,
     COMMAND_MEMORY_ENABLE,
@@ -50,6 +51,8 @@ class NtbDriver:
         self.side = side
         self.irq_base = irq_base
         self.name = f"{host.name}.ntb.{side}"
+        #: observability sink; replaced by instrument_cluster when tracing.
+        self.scope = NULL_SCOPE
         self._probed = False
         self._bar_sizes: dict[int, int] = {}
         self._irq_handlers: dict[int, Callable[[int], None]] = {}
@@ -150,8 +153,10 @@ class NtbDriver:
     # -- doorbells ---------------------------------------------------------------------
     def ring_doorbell(self, bit: int) -> Generator:
         """Ring the *peer's* doorbell bit (posted MMIO write + link)."""
-        yield from self.host.cpu.mmio_reg_write()
-        yield from self.endpoint.ring_peer_doorbell(bit)
+        with self.scope.span("doorbell_ring", category="driver",
+                             track=self.name, bit=bit):
+            yield from self.host.cpu.mmio_reg_write()
+            yield from self.endpoint.ring_peer_doorbell(bit)
 
     def clear_doorbell(self, bit: int) -> Generator:
         """W1C our local pending bit."""
@@ -205,28 +210,33 @@ class NtbDriver:
         buf = np.frombuffer(memoryview(data), dtype=np.uint8) \
             if not isinstance(data, np.ndarray) else data.view(np.uint8).reshape(-1)
         chunk = self.host.cost_model.pio_chunk
-        cursor = 0
-        while cursor < buf.size:
-            take = min(chunk, buf.size - cursor)
-            yield from self.host.cpu.pio_write(take)
-            self.endpoint.window_write_functional(
-                window_index, offset + cursor, buf[cursor:cursor + take]
-            )
-            cursor += take
+        with self.scope.span("pio_copy", category="driver", track=self.name,
+                             direction="write", nbytes=int(buf.size)):
+            cursor = 0
+            while cursor < buf.size:
+                take = min(chunk, buf.size - cursor)
+                yield from self.host.cpu.pio_write(take)
+                self.endpoint.window_write_functional(
+                    window_index, offset + cursor, buf[cursor:cursor + take]
+                )
+                cursor += take
 
     def pio_window_read(self, window_index: int, offset: int,
                         nbytes: int) -> Generator:
         """CPU load loop from the window (uncached read rate — slow)."""
         out = np.empty(nbytes, dtype=np.uint8)
         chunk = self.host.cost_model.pio_chunk
-        cursor = 0
-        while cursor < nbytes:
-            take = min(chunk, nbytes - cursor)
-            yield from self.host.cpu.pio_read(take)
-            out[cursor:cursor + take] = self.endpoint.window_read_functional(
-                window_index, offset + cursor, take
-            )
-            cursor += take
+        with self.scope.span("pio_copy", category="driver", track=self.name,
+                             direction="read", nbytes=nbytes):
+            cursor = 0
+            while cursor < nbytes:
+                take = min(chunk, nbytes - cursor)
+                yield from self.host.cpu.pio_read(take)
+                out[cursor:cursor + take] = \
+                    self.endpoint.window_read_functional(
+                        window_index, offset + cursor, take
+                    )
+                cursor += take
         return out
 
     # -- DMA ----------------------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""ShmemScope: span tracing, latency histograms and timeline export.
+
+The observability layer of the reproduction (ISSUE 2).  Enable it with
+``ShmemConfig(trace_spans=True)``; the resulting
+:class:`~repro.obsv.ShmemScope` lands on ``report.scope`` and can be
+exported with :func:`dump_chrome_trace` then opened in ``ui.perfetto.dev``
+or dissected with ``python -m repro.obsv trace.json``.
+
+Import direction: this package depends only on the stdlib, so the
+hardware layers (``pcie``, ``ntb``) may import it without cycles.
+"""
+
+from .analysis import TraceNode, build_trees, render_breakdown, \
+    render_flamegraph
+from .export import dump_chrome_trace, to_chrome_trace, \
+    validate_chrome_trace
+from .hist import HistogramRegistry, HistSummary, LogHistogram
+from .sampler import LinkSample, link_utilisation
+from .spans import NULL_SCOPE, NullScope, ShmemScope, Span, \
+    instrument_cluster
+
+__all__ = [
+    "Span",
+    "ShmemScope",
+    "NullScope",
+    "NULL_SCOPE",
+    "instrument_cluster",
+    "LogHistogram",
+    "HistogramRegistry",
+    "HistSummary",
+    "LinkSample",
+    "link_utilisation",
+    "to_chrome_trace",
+    "dump_chrome_trace",
+    "validate_chrome_trace",
+    "TraceNode",
+    "build_trees",
+    "render_breakdown",
+    "render_flamegraph",
+]

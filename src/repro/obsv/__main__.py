@@ -1,0 +1,55 @@
+"""CLI: dissect an exported trace.
+
+    python -m repro.obsv trace.json              # breakdown + flamegraph
+    python -m repro.obsv trace.json --validate   # schema check only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .analysis import build_trees, render_breakdown, render_flamegraph
+from .export import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obsv",
+        description="Analyse a repro.obsv Chrome-trace JSON export.",
+    )
+    parser.add_argument("trace", help="path to an exported trace.json")
+    parser.add_argument("--validate", action="store_true",
+                        help="only validate the trace-event structure")
+    parser.add_argument("--flame", action="store_true",
+                        help="only print the flamegraph")
+    parser.add_argument("--max-ops", type=int, default=8,
+                        help="flamegraph: max operation trees to draw")
+    args = parser.parse_args(argv)
+
+    with open(args.trace, "r", encoding="utf-8") as fh:
+        trace = json.load(fh)
+
+    problems = validate_chrome_trace(trace)
+    if problems:
+        print(f"{args.trace}: INVALID trace-event JSON:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    n_events = len(trace.get("traceEvents", []))
+    print(f"{args.trace}: valid trace-event JSON ({n_events} events)")
+    if args.validate:
+        return 0
+
+    roots = build_trees(trace)
+    if not args.flame:
+        print()
+        print(render_breakdown(roots))
+    print()
+    print(render_flamegraph(roots, max_ops=args.max_ops))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Chrome trace-event (Perfetto) JSON export + hand-rolled validation.
+
+The trace-event format is the JSON dialect understood by
+``ui.perfetto.dev`` and ``chrome://tracing``: a ``traceEvents`` array of
+"X" (complete), "i" (instant), "C" (counter) and "M" (metadata) events.
+We map:
+
+* each **PE** to a *process* (``pid`` = PE number) whose threads are its
+  op lane (``pe0``) and service lane (``pe0.service``);
+* each **host's hardware** (NTB drivers, DMA engines, doorbells, PCIe
+  cable directions) to the matching host process, one *thread* per track;
+* link utilisation (from :mod:`repro.obsv.sampler`) to "C" counter
+  events on the link's track.
+
+Timestamps are virtual µs passed straight through (the format's native
+unit).  Span ids ride in ``args`` so the CLI can rebuild the tree from
+an exported file alone.
+
+Validation is hand-rolled (no jsonschema dependency):
+:func:`validate_chrome_trace` returns a list of problems, empty when the
+object is structurally sound.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from .sampler import link_utilisation
+from .spans import ShmemScope, Span
+
+__all__ = ["to_chrome_trace", "dump_chrome_trace", "validate_chrome_trace"]
+
+#: pid for tracks we cannot attribute to a PE or host (cables between
+#: hosts are attributed to their first-named host instead).
+_FABRIC_PID = 999
+
+
+def _track_pid(track: str) -> int:
+    """Map a track name to a process id: ``pe{N}...`` / ``host{N}...``."""
+    for prefix in ("pe", "host"):
+        if track.startswith(prefix):
+            digits = ""
+            for ch in track[len(prefix):]:
+                if ch.isdigit():
+                    digits += ch
+                else:
+                    break
+            if digits:
+                return int(digits)
+    return _FABRIC_PID
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def to_chrome_trace(scope: ShmemScope,
+                    utilisation_window_us: Optional[float] = None
+                    ) -> dict[str, Any]:
+    """Render a scope as a trace-event JSON object (ready to serialize)."""
+    tracks = sorted({span.track or "untracked" for span in scope.spans})
+    tids = {track: tid for tid, track in enumerate(tracks)}
+
+    events: list[dict[str, Any]] = []
+    pids_seen: dict[int, str] = {}
+    for track in tracks:
+        pid = _track_pid(track)
+        if pid not in pids_seen:
+            pids_seen[pid] = ("fabric" if pid == _FABRIC_PID
+                              else track.split(".")[0])
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid,
+            "tid": tids[track],
+            "args": {"name": track},
+        })
+    for pid in sorted(pids_seen):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": pids_seen[pid]},
+        })
+
+    for span in scope.spans:
+        events.append(_span_event(span, tids))
+
+    window = utilisation_window_us
+    if window is None:
+        horizon = max((s.end for s in scope.spans if s.end is not None),
+                      default=0.0)
+        window = max(horizon / 100.0, 1.0)
+    for sample in link_utilisation(scope, window):
+        events.append({
+            "ph": "C", "name": "link_utilisation",
+            "pid": _track_pid(sample.track),
+            "tid": tids.get(sample.track, 0),
+            "ts": sample.window_start,
+            "args": {"busy_fraction": round(sample.busy_fraction, 4),
+                     "bytes": sample.nbytes,
+                     "track": sample.track},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obsv",
+            "clock": "virtual-us",
+            "spans": len(scope.spans),
+        },
+    }
+
+
+def _span_event(span: Span, tids: dict[str, int]) -> dict[str, Any]:
+    track = span.track or "untracked"
+    args: dict[str, Any] = {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+    }
+    for key, value in span.args.items():
+        args[key] = _json_safe(value)
+    event: dict[str, Any] = {
+        "name": span.name,
+        "cat": span.category,
+        "pid": _track_pid(track),
+        "tid": tids[track],
+        "ts": span.start,
+        "args": args,
+    }
+    if span.end is not None and span.end > span.start:
+        event["ph"] = "X"
+        event["dur"] = span.end - span.start
+    else:
+        event["ph"] = "i"
+        event["s"] = "t"  # thread-scoped instant
+    return event
+
+
+def dump_chrome_trace(scope: ShmemScope, path: str,
+                      utilisation_window_us: Optional[float] = None) -> None:
+    """Export ``scope`` to ``path`` as Perfetto-loadable JSON."""
+    obj = to_chrome_trace(scope, utilisation_window_us)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=1)
+        fh.write("\n")
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Structural validation of a trace-event JSON object.
+
+    Checks the subset of the spec we emit: required keys per phase type,
+    numeric timestamps, non-negative durations, and metadata presence for
+    every (pid, tid) used by an event.  Returns human-readable problems;
+    an empty list means valid.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top level: expected a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents: expected a list"]
+
+    named_threads: set[tuple[int, int]] = set()
+    named_processes: set[int] = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: expected an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "C", "M", "B", "E"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing/non-string 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing/non-int {key!r}")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_threads.add((event.get("pid"), event.get("tid")))
+            elif event.get("name") == "process_name":
+                named_processes.add(event.get("pid"))
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: missing/non-numeric 'ts'")
+        elif ts < 0:
+            problems.append(f"{where}: negative ts {ts}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: 'X' event missing 'dur'")
+            elif dur < 0:
+                problems.append(f"{where}: negative dur {dur}")
+        if ph in ("X", "i", "C") and not isinstance(event.get("args"),
+                                                    dict):
+            problems.append(f"{where}: missing 'args' object")
+
+    for i, event in enumerate(events):
+        if not isinstance(event, dict) or event.get("ph") in ("M", None):
+            continue
+        pid, tid = event.get("pid"), event.get("tid")
+        if isinstance(pid, int) and isinstance(tid, int):
+            if (pid, tid) not in named_threads:
+                problems.append(
+                    f"traceEvents[{i}]: (pid={pid}, tid={tid}) has no "
+                    "thread_name metadata"
+                )
+            if pid not in named_processes:
+                problems.append(
+                    f"traceEvents[{i}]: pid={pid} has no process_name "
+                    "metadata"
+                )
+
+    return problems

@@ -1,0 +1,75 @@
+"""Link-utilisation sampler: busy fraction per NTB link per time window.
+
+The ring congestion the paper's Fig. 8 "simultaneous" series measures is
+exactly "how busy is each PCIe cable direction over time".  Rather than
+scheduling sampling events (which would perturb virtual time), we derive
+utilisation *post hoc* from the recorded ``link_transit`` spans: for each
+link track, each window of ``window_us`` gets the fraction of the window
+a wire occupancy span overlapped it, plus the bytes attributed
+proportionally by overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .spans import ShmemScope
+
+__all__ = ["LinkSample", "link_utilisation"]
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """Utilisation of one link direction over one virtual-time window."""
+
+    track: str
+    window_start: float
+    window_us: float
+    busy_us: float
+    nbytes: int
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy_us / self.window_us if self.window_us else 0.0
+
+
+def link_utilisation(scope: "ShmemScope",
+                     window_us: float) -> Iterator[LinkSample]:
+    """Yield windowed samples per link track, sorted (track, window)."""
+    if window_us <= 0:
+        raise ValueError(f"window_us must be positive, got {window_us}")
+    by_track: dict[str, list] = {}
+    for span in scope.spans:
+        if span.name != "link_transit" or span.end is None:
+            continue
+        by_track.setdefault(span.track, []).append(span)
+
+    for track in sorted(by_track):
+        busy: dict[int, float] = {}
+        moved: dict[int, float] = {}
+        for span in by_track[track]:
+            nbytes = span.args.get("nbytes", 0)
+            duration = span.end - span.start
+            first = int(span.start // window_us)
+            last = int(span.end // window_us)
+            # A serialization span can straddle window edges; split its
+            # time (and bytes, proportionally) across them.
+            for w in range(first, last + 1):
+                lo = max(span.start, w * window_us)
+                hi = min(span.end, (w + 1) * window_us)
+                overlap = hi - lo
+                if overlap <= 0 and duration > 0:
+                    continue
+                busy[w] = busy.get(w, 0.0) + overlap
+                share = (overlap / duration) if duration > 0 else 1.0
+                moved[w] = moved.get(w, 0.0) + nbytes * share
+        for w in sorted(busy):
+            yield LinkSample(
+                track=track,
+                window_start=w * window_us,
+                window_us=window_us,
+                busy_us=min(busy[w], window_us),
+                nbytes=int(round(moved.get(w, 0.0))),
+            )

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from ..obsv.spans import NULL_SCOPE
 from ..sim import Environment, Resource, Tracer
 from .flow_control import CreditConfig, CreditPool
 from .tlp import TlpOverhead, tlp_wire_bytes
@@ -117,6 +118,8 @@ class Link:
         self.name = name
         self.tracer = tracer
         self._wire = Resource(env, capacity=1, name=f"{name}.wire")
+        #: observability sink; replaced by instrument_cluster when tracing.
+        self.scope = NULL_SCOPE
         self.credits: Optional[CreditPool] = (
             CreditPool(env, config.flow_control, name=f"{name}.fc")
             if config.flow_control is not None else None
@@ -146,12 +149,18 @@ class Link:
             self.dropped_bytes += nbytes
             return 0.0
         if self.credits is not None:
-            yield from self.credits.acquire(1, nbytes)
+            with self.scope.span("fc_stall", category="link",
+                                 track=self.name, nbytes=nbytes):
+                yield from self.credits.acquire(1, nbytes)
         req = self._wire.request()
         yield req
         try:
             ser = self.config.serialization_time_us(nbytes)
-            yield self.env.timeout(ser)
+            # The span covers exactly the wire occupancy (queueing is the
+            # gap before it), so the utilisation sampler stays honest.
+            with self.scope.span("link_transit", category="link",
+                                 track=self.name, nbytes=nbytes):
+                yield self.env.timeout(ser)
             self.payload_bytes += nbytes
             self.busy_time_us += ser
         finally:

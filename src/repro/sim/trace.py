@@ -39,14 +39,20 @@ class TraceRecord:
 
 
 class Counter:
-    """A named monotonically increasing counter with byte accounting."""
+    """A named monotonically increasing counter with byte accounting.
 
-    __slots__ = ("name", "count", "bytes")
+    ``first_time`` is the virtual time of the first observation (None
+    until then) — rates are measured from it, not from t=0, so a counter
+    that starts late (e.g. after warmup barriers) is not diluted.
+    """
+
+    __slots__ = ("name", "count", "bytes", "first_time")
 
     def __init__(self, name: str):
         self.name = name
         self.count = 0
         self.bytes = 0
+        self.first_time: Optional[float] = None
 
     def add(self, n: int = 1, nbytes: int = 0) -> None:
         self.count += n
@@ -92,6 +98,9 @@ class Tracer:
         self.enabled = enabled
         self.max_records = max_records
         self.records: list[TraceRecord] = []
+        #: rows discarded because ``max_records`` was reached — visible so
+        #: a truncated trace is never mistaken for a complete one.
+        self.dropped = 0
         self.counters: dict[str, Counter] = {}
         self.intervals: dict[str, IntervalStats] = {}
         #: optional external sinks, called per record even when recording
@@ -107,6 +116,7 @@ class Tracer:
         if not self.enabled:
             return
         if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
             return
         self.records.append(record)
 
@@ -130,7 +140,10 @@ class Tracer:
         return counter
 
     def count(self, name: str, n: int = 1, nbytes: int = 0) -> None:
-        self.counter(name).add(n, nbytes)
+        counter = self.counter(name)
+        if counter.first_time is None:
+            counter.first_time = self.env.now
+        counter.add(n, nbytes)
 
     # -- intervals ----------------------------------------------------------------
     def interval(self, name: str) -> IntervalStats:
@@ -145,11 +158,24 @@ class Tracer:
     # -- convenience ----------------------------------------------------------------
     def throughput_mbps(self, counter_name: str,
                         elapsed_us: Optional[float] = None) -> float:
-        """MB/s implied by a byte counter over ``elapsed_us`` (default: now)."""
+        """MB/s implied by a byte counter.
+
+        With no explicit ``elapsed_us``, the window runs from the counter's
+        first observation to now — not from t=0, which would dilute rates
+        for counters that only start moving after setup/warmup.  If the
+        first-seen window is degenerate (everything landed at one instant),
+        fall back to the full ``[0, now]`` window.
+        """
         counter = self.counters.get(counter_name)
         if counter is None or counter.bytes == 0:
             return 0.0
-        elapsed = self.env.now if elapsed_us is None else elapsed_us
+        if elapsed_us is None:
+            start = counter.first_time or 0.0
+            elapsed = self.env.now - start
+            if elapsed <= 0:
+                elapsed = self.env.now
+        else:
+            elapsed = elapsed_us
         if elapsed <= 0:
             return 0.0
         # bytes / µs == MB/s (1e6 B / 1e6 µs)
@@ -158,6 +184,8 @@ class Tracer:
     def summary(self) -> dict[str, Any]:
         """Flat dict of counters and interval stats (harness reporting)."""
         out: dict[str, Any] = {}
+        if self.dropped:
+            out["trace.dropped"] = self.dropped
         for name, counter in sorted(self.counters.items()):
             out[f"count.{name}"] = counter.count
             if counter.bytes:

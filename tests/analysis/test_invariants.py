@@ -13,6 +13,7 @@ from repro.analysis.invariants import (
     check_dma_engine,
     check_doorbell,
     check_endpoint_windows,
+    check_span_balance,
     render_violations,
 )
 from repro.fabric import Cluster, ClusterConfig
@@ -174,6 +175,62 @@ def test_sanitized_run_spmd_checks_invariants():
     report = run_spmd(main, n_pes=2,
                       shmem_config=ShmemConfig(sanitize="strict"))
     assert report.results == [True, True]
+
+
+# ------------------------------------------------------------- span balance
+def test_balanced_scope_clean():
+    from repro.obsv import ShmemScope
+
+    env = Environment()
+    scope = ShmemScope(env)
+    with scope.span("put", category="op", track="pe0"):
+        pass
+    assert check_span_balance(scope) == []
+
+
+def test_open_span_flagged():
+    from repro.obsv import ShmemScope
+
+    env = Environment()
+    scope = ShmemScope(env)
+    scope.span_open("put", "op", "pe0", None, {})
+    [violation] = check_span_balance(scope)
+    assert violation.rule == "span-unbalanced"
+    assert "never" in violation.detail and "'put'" in violation.detail
+
+
+def test_unadopted_binding_flagged():
+    from repro.obsv import ShmemScope
+
+    env = Environment()
+    scope = ShmemScope(env)
+    with scope.span("put", category="op", track="pe0"):
+        scope.bind_msg(("msg", 1), scope.current_span_id())
+    [violation] = check_span_balance(scope)
+    assert violation.rule == "span-unbalanced"
+    assert "adopted" in violation.detail
+
+
+def test_sanitized_traced_run_audits_span_balance():
+    """check_cluster picks up cluster.scope on sanitized traced runs."""
+
+    def main(pe):
+        sym = yield from pe.malloc_array(8, np.int64)
+        target = (pe.my_pe() + 2) % pe.num_pes()  # non-neighbor: 2 hops
+        if pe.my_pe() == 0:
+            yield from pe.put_array(
+                sym, np.full(8, 7, dtype=np.int64), target
+            )
+        yield from pe.barrier_all()
+        return True
+
+    report = run_spmd(main, n_pes=3,
+                      shmem_config=ShmemConfig(sanitize="strict",
+                                               trace_spans=True))
+    assert report.results == [True, True, True]
+    assert report.scope is not None
+    assert report.scope.open_spans() == []
+    assert report.scope.pending_bindings() == 0
 
 
 def test_render_violations():

@@ -131,6 +131,38 @@ def test_augassign_register_mutation_flagged(tmp_path):
     assert [issue.rule for issue in lint_file(path)] == ["register-mutation"]
 
 
+# ------------------------------------------------------ rule: span-discipline
+def test_raw_span_open_flagged_outside_obsv(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "def f(scope):\n"
+        "    span = scope.span_open('x', 'op', 't', None, {})\n"
+        "    scope.span_close(span)\n",
+    )
+    issues = lint_file(path)
+    assert [issue.rule for issue in issues] == ["span-discipline"] * 2
+
+
+def test_span_context_manager_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/good.py",
+        "def f(scope):\n"
+        "    with scope.span('x', category='op'):\n"
+        "        pass\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_span_primitives_allowed_inside_obsv(tmp_path):
+    path = _write(
+        tmp_path, "repro/obsv/spans_like.py",
+        "def f(scope):\n"
+        "    span = scope.span_open('x', 'op', 't', None, {})\n"
+        "    scope.span_close(span)\n",
+    )
+    assert lint_file(path) == []
+
+
 # ---------------------------------------------------------------- whole tree
 def test_repo_source_tree_is_clean():
     issues = lint_paths([REPO_SRC])

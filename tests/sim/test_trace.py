@@ -37,6 +37,37 @@ class TestTracer:
         for index in range(5):
             tracer.emit("s", "k", i=index)
         assert len(tracer.records) == 2
+        # Truncation is visible, never silent.
+        assert tracer.dropped == 3
+        assert tracer.summary()["trace.dropped"] == 3
+
+    def test_no_drops_means_no_dropped_key(self, env):
+        tracer = Tracer(env)
+        tracer.emit("s", "k")
+        assert tracer.dropped == 0
+        assert "trace.dropped" not in tracer.summary()
+
+    def test_query_source_kind_since_combos(self, env):
+        tracer = Tracer(env)
+
+        def emitter():
+            tracer.emit("host0.dma", "complete")
+            yield env.timeout(10.0)
+            tracer.emit("host0.dma", "complete")
+            tracer.emit("host0.db", "ring")
+            yield env.timeout(10.0)
+            tracer.emit("host1.dma", "complete")
+
+        env.process(emitter())
+        env.run(until=30.0)
+        assert len(list(tracer.query(since=10.0))) == 3
+        assert len(list(tracer.query(source="host0", since=10.0))) == 2
+        assert len(list(tracer.query(kind="complete", since=10.0))) == 2
+        assert len(list(tracer.query(source="host0", kind="complete",
+                                     since=10.0))) == 1
+        assert len(list(tracer.query(source="host0.dma", kind="complete",
+                                     since=20.0))) == 0
+        assert len(list(tracer.query())) == 4
 
     def test_sink_called_even_when_disabled(self, env):
         tracer = Tracer(env, enabled=False)
@@ -45,13 +76,41 @@ class TestTracer:
         tracer.emit("s", "k")
         assert len(seen) == 1
 
-    def test_throughput_mbps(self, env):
+    def test_throughput_mbps_from_first_observation(self, env):
+        tracer = Tracer(env)
+
+        def counter():
+            yield env.timeout(60.0)
+            tracer.count("xfer", nbytes=400)
+            yield env.timeout(40.0)
+            tracer.count("xfer", nbytes=600)
+
+        env.process(counter())
+        env.run(until=100.0)
+        assert tracer.counters["xfer"].first_time == 60.0
+        # 1000 bytes over the [60, 100] us active window == 25 MB/s,
+        # not diluted to 10 MB/s by the idle first 60 us.
+        assert tracer.throughput_mbps("xfer") == 25.0
+        assert tracer.throughput_mbps("missing") == 0.0
+
+    def test_throughput_mbps_explicit_window_unchanged(self, env):
+        tracer = Tracer(env)
+
+        def counter():
+            yield env.timeout(60.0)
+            tracer.count("xfer", nbytes=400)
+
+        env.process(counter())
+        env.run(until=100.0)
+        assert tracer.throughput_mbps("xfer", elapsed_us=100.0) == 4.0
+
+    def test_throughput_mbps_single_instant_falls_back(self, env):
         tracer = Tracer(env)
         env.run(until=100.0)
         tracer.count("xfer", nbytes=1000)
-        # 1000 bytes over 100 us == 10 MB/s
+        # Everything landed at t=now: the first-seen window is degenerate,
+        # so rate falls back to the full [0, now] window.
         assert tracer.throughput_mbps("xfer") == 10.0
-        assert tracer.throughput_mbps("missing") == 0.0
 
     def test_summary_structure(self, env):
         tracer = Tracer(env)
@@ -93,3 +152,16 @@ class TestIntervalStats:
     def test_merge_skips_empty(self):
         merged = merge_interval_stats([IntervalStats(), IntervalStats()])
         assert merged.count == 0
+
+    def test_merge_no_inputs(self):
+        merged = merge_interval_stats([])
+        assert merged.count == 0
+        assert merged.mean == 0.0
+
+    def test_merge_singleton_is_identity(self):
+        stats = IntervalStats()
+        stats.observe(3.0)
+        stats.observe(7.0)
+        merged = merge_interval_stats([stats])
+        assert (merged.count, merged.total) == (stats.count, stats.total)
+        assert (merged.minimum, merged.maximum) == (3.0, 7.0)
