@@ -9,6 +9,7 @@ Usage::
 
     python examples/quickstart.py
     python examples/quickstart.py --trace trace.json   # span-traced run
+    python examples/quickstart.py --sever              # cut a cable mid-run
 """
 
 from __future__ import annotations
@@ -81,9 +82,24 @@ if __name__ == "__main__":
     parser.add_argument("--trace", metavar="PATH",
                         help="record causal spans and export a Chrome "
                              "trace-event (Perfetto) JSON")
+    parser.add_argument("--sever", action="store_true",
+                        help="unplug the cable between hosts 1 and 2 "
+                             "mid-run: the heartbeat detector marks the "
+                             "edge DEAD, traffic re-routes the long way "
+                             "around, and every assert still holds")
     args = parser.parse_args()
 
-    config = ShmemConfig(trace_spans=True) if args.trace else None
+    config = None
+    if args.sever:
+        from repro.faults import FaultPlan
+
+        config = ShmemConfig(
+            faults=FaultPlan.single_sever(1, 2, at_us=800.0),
+            max_retries=8, retry_backoff_us=200.0,
+            trace_spans=bool(args.trace),
+        )
+    elif args.trace:
+        config = ShmemConfig(trace_spans=True)
     report = run_spmd(main, n_pes=3, shmem_config=config)
     print(f"simulated {report.elapsed_us / 1000:.2f} virtual ms "
           f"on a 3-host PCIe NTB ring\n")
@@ -95,6 +111,14 @@ if __name__ == "__main__":
     stats = report.stats()
     print(f"\ntotals: {stats['puts']} puts, {stats['gets']} gets, "
           f"{stats['amos']} atomics")
+
+    if args.sever:
+        dead = sorted(report.runtime(0).dead_edges)
+        reroutes = sum(rt.reroutes for rt in report.runtimes)
+        retries = sum(rt.retries for rt in report.runtimes)
+        print(f"severed cable survived: dead edges {dead}, "
+              f"{reroutes} reroutes, {retries} send retries — "
+              f"all data verified")
 
     if args.trace:
         from repro.obsv import dump_chrome_trace

@@ -27,6 +27,16 @@ Rules
     driver API — poking ``endpoint.doorbell._pending`` from the runtime is
     how real drivers corrupt hardware state.
 
+``bounded-wait``
+    Inside ``repro/core`` every ``yield <something>.wait()`` is a wait
+    that only a *remote* peer can complete (signals pulsed by service
+    dispatch, reply events).  Such waits must go through
+    :func:`repro.core.waits.remote_wait`, which bounds them with the
+    link-state signal and the reply deadline so a severed cable raises
+    ``PeerUnreachableError`` instead of hanging the simulation.  The
+    helper module itself is exempt; purely local rendezvous can be
+    suppressed with ``# lint: skip``.
+
 ``span-discipline``
     Observability spans must be statically balanced: outside ``repro/obsv``
     only the ``with scope.span(...)`` context manager may be used.  Calling
@@ -51,7 +61,7 @@ __all__ = ["LintIssue", "lint_file", "lint_paths", "main"]
 
 #: packages whose modules run under simulated time (the wallclock rule).
 SIMULATED_PACKAGES = frozenset(
-    {"sim", "memory", "pcie", "ntb", "host", "fabric", "core"}
+    {"sim", "memory", "pcie", "ntb", "host", "fabric", "core", "faults"}
 )
 
 #: modules whose import anywhere in a simulated package is a violation.
@@ -70,6 +80,11 @@ DEVICE_PACKAGE = "ntb"
 #: package allowed to call them.
 SPAN_PRIMITIVES = frozenset({"span_open", "span_close"})
 OBSV_PACKAGE = "obsv"
+
+#: package whose remote waits must be bounded (the bounded-wait rule)
+#: and the helper module allowed to implement the raw wait.
+CORE_PACKAGE = "core"
+BOUNDED_WAIT_EXEMPT_FILES = frozenset({"waits.py"})
 
 _SUPPRESS_MARKERS = ("pragma: no cover", "lint: skip")
 
@@ -190,6 +205,18 @@ class _Checker(ast.NodeVisitor):
                 node, "bare-yield",
                 f"'yield {node.value.value!r}': process coroutines must "
                 f"yield Event objects, not constants",
+            )
+        elif (self.package == CORE_PACKAGE
+              and self.path.name not in BOUNDED_WAIT_EXEMPT_FILES
+              and isinstance(node.value, ast.Call)
+              and isinstance(node.value.func, ast.Attribute)
+              and node.value.func.attr == "wait"):
+            self._emit(
+                node, "bounded-wait",
+                "direct 'yield <x>.wait()' in repro/core: remote-reply "
+                "waits must go through core.waits.remote_wait so a dead "
+                "link raises PeerUnreachableError instead of hanging "
+                "(purely local rendezvous: add '# lint: skip')",
             )
         self.generic_visit(node)
 

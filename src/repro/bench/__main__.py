@@ -8,6 +8,8 @@ Options::
     python -m repro.bench --json out.json # dump rows as JSON
     python -m repro.bench --trace t.json  # span-trace fig9, export Perfetto
     python -m repro.bench --smoke         # fig9-only small sizes (CI)
+    python -m repro.bench --chaos         # sever-a-cable fault demo
+    python -m repro.bench --chaos --chaos-seed 7   # different cut point
 """
 
 from __future__ import annotations
@@ -65,7 +67,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="fig9-only 1KB/8KB smoke run (fast; skips "
                              "shape checks — sizes are off-grid)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="4-host fault demo: sever one ring cable at "
+                             "a seeded virtual time; the workload must "
+                             "re-route and finish with correct data")
+    parser.add_argument("--chaos-seed", type=int, default=42,
+                        metavar="N",
+                        help="seed for the chaos fault plan (default 42)")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        from .experiments.chaos import run_chaos_demo
+
+        t0 = time.perf_counter()
+        result = run_chaos_demo(seed=args.chaos_seed)
+        print(result.summary())
+        print(f"\nwall time: {time.perf_counter() - t0:.1f}s; "
+              "all values are virtual-time measurements")
+        return 0 if result.ok else 1
 
     t0 = time.perf_counter()
     scope = None

@@ -10,6 +10,7 @@ from .ablations import (
     run_routing_ablation,
     run_scaling_ablation,
 )
+from .chaos import ChaosResult, run_chaos_demo
 from .fig8 import Fig8Result, run_fig8
 from .fig9 import CONFIGS, Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
@@ -24,6 +25,8 @@ __all__ = [
     "run_irq_ablation",
     "run_routing_ablation",
     "run_scaling_ablation",
+    "ChaosResult",
+    "run_chaos_demo",
     "Fig8Result",
     "run_fig8",
     "CONFIGS",

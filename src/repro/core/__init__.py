@@ -18,6 +18,7 @@ from .collectives import (
 from .errors import (
     BadPeError,
     NotInitializedError,
+    PeerUnreachableError,
     ProtocolError,
     RaceError,
     ShmemError,
@@ -31,6 +32,7 @@ from .runtime import AmoOp, ShmemConfig, ShmemRuntime
 from .sanitizer import RaceReport, ShmemSan, render_race_table
 from .service import ShmemService
 from .transfer import Message, Mode, MsgKind
+from .waits import remote_wait
 
 __all__ = [
     "PE",
@@ -47,6 +49,7 @@ __all__ = [
     "reduce",
     "BadPeError",
     "NotInitializedError",
+    "PeerUnreachableError",
     "ProtocolError",
     "RaceError",
     "ShmemError",
@@ -71,4 +74,5 @@ __all__ = [
     "Message",
     "Mode",
     "MsgKind",
+    "remote_wait",
 ]

@@ -26,6 +26,7 @@ from .errors import ShmemError, TransferError
 from .heap import SymAddr
 from .runtime import AmoOp, ShmemRuntime
 from .transfer import Mode
+from .waits import remote_wait
 
 __all__ = ["PE", "LocalBuffer"]
 
@@ -305,7 +306,10 @@ class PE:
                         rt.san.sync_acquire(rt.my_pe_id, rt.my_pe_id,
                                             addr.offset, 8)
                     return cell
-                yield rt.heap_updated.wait()
+                # The awaited update typically arrives over a link: a
+                # dead path must raise, not spin forever.
+                yield from remote_wait(rt, rt.heap_updated.wait(),
+                                       what=f"wait_until {op} {value}")
 
     # -- atomics ---------------------------------------------------------------
     def atomic_fetch(self, addr: SymAddr, pe: int) -> Generator:

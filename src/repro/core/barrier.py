@@ -31,11 +31,12 @@ left) where the ring token cannot wrap.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from ..fabric import ChainTopology, RingTopology
+from ..ntb import LinkDownError
 from ..sim import Signal
-from .errors import ProtocolError, ShmemError
+from .errors import PeerUnreachableError, ProtocolError, ShmemError
 from .heap import SymAddr
 from .transfer import (
     DOORBELL_BARRIER_END,
@@ -44,6 +45,7 @@ from .transfer import (
     Mode,
     MsgKind,
 )
+from .waits import remote_wait
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runtime import ShmemRuntime
@@ -52,16 +54,47 @@ __all__ = ["make_barrier", "RingBarrier", "ChainBarrier",
            "DisseminationBarrier", "CentralizedBarrier"]
 
 
+#: Degraded-mode message subtypes carried in BARRIER_MSG aux (low byte).
+_MSG_ARRIVE = 0
+_MSG_RELEASE = 1
+
+
 class _TokenBarrier:
-    """Shared machinery for doorbell-token barriers (ring and chain)."""
+    """Shared machinery for doorbell-token barriers (ring and chain).
+
+    Besides the healthy-path doorbell tokens, this also owns the
+    *degraded* barrier a ring falls back to when one cable is dead: a
+    watermark protocol over generation-tagged BARRIER_MSG control
+    messages routed along the surviving path.  Each call sends
+    ARRIVE(g) — its absolute episode number — to a coordinator (the
+    left end of the surviving line), which maintains the minimum
+    generation any PE is still waiting at and broadcasts that watermark
+    as RELEASE(w); a call completes once ``w >= g``.  Absolute
+    generations make the protocol immune to the skew a mid-episode cut
+    creates (some PEs complete the token episode, others abort it):
+    a PE that is one episode ahead simply arrives with ``g+1`` and the
+    watermark waits for the stragglers, whereas any scheme that pairs
+    calls positionally deadlocks.  Arrivals are idempotent and resent
+    on a timer, so a control message dropped at a not-yet-informed
+    relay cannot hang the barrier.
+    """
+
+    #: µs between ARRIVE retransmissions while waiting for a release.
+    RESEND_US = 1_000.0
 
     def __init__(self, runtime: "ShmemRuntime"):
         self.rt = runtime
         self._start_tokens = 0
         self._end_tokens = 0
         self._signal = Signal(runtime.env, name=f"{runtime.name}.barrier")
-        #: completed barrier episodes (diagnostics)
+        #: coordinator state: highest generation each PE arrived with.
+        self._arrivals: dict[int, int] = {}
+        #: highest released watermark seen (coordinator or broadcast).
+        self._released = -1
+        #: completed barrier episodes (absolute; tags degraded messages).
         self.generation = 0
+        #: completed *degraded* episodes (diagnostics).
+        self.degraded_generation = 0
 
     # Called synchronously by the service thread (FIFO with data traffic).
     def on_token(self, side: str, kind: str) -> None:
@@ -73,20 +106,50 @@ class _TokenBarrier:
             raise ProtocolError(f"bad barrier token kind {kind!r}")
         self._signal.fire(kind)
 
-    def on_notify(self, msg: Message) -> None:  # pragma: no cover - defensive
-        raise ProtocolError(
-            f"{self.rt.name}: BARRIER_MSG under a token barrier"
-        )
+    def on_notify(self, msg: Message) -> None:
+        """A degraded-mode control message (generation-tagged)."""
+        gen = (msg.aux >> 8) & 0xFFFFFF
+        subtype = msg.aux & 0xFF
+        if subtype == _MSG_ARRIVE:
+            self._coord_arrive(msg.src_pe, gen)
+        elif subtype == _MSG_RELEASE:
+            if gen > self._released:
+                self._released = gen
+                self._signal.fire(("release", gen))
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"bad degraded barrier subtype {subtype}")
+
+    def on_link_event(self) -> None:
+        """An edge died or recovered: in-flight ring tokens are no longer
+        trustworthy (the episode they belonged to cannot complete
+        consistently), so drain the counters.  Degraded-mode messages are
+        generation-tagged and survive untouched."""
+        self._start_tokens = 0
+        self._end_tokens = 0
 
     def _await_start(self) -> Generator:
         while self._start_tokens == 0:
-            yield self._signal.wait()
+            yield from remote_wait(self.rt, self._signal.wait(),
+                                   what="barrier START token",
+                                   doomed=self._token_doomed)
         self._start_tokens -= 1
 
     def _await_end(self) -> Generator:
         while self._end_tokens == 0:
-            yield self._signal.wait()
+            yield from remote_wait(self.rt, self._signal.wait(),
+                                   what="barrier END token",
+                                   doomed=self._token_doomed)
         self._end_tokens -= 1
+
+    def _token_doomed(self) -> Optional[BaseException]:
+        # Ring tokens traverse every cable of the ring (and chain tokens
+        # every cable of the chain), so any dead edge dooms the episode.
+        if self.rt.dead_edges:
+            return PeerUnreachableError(
+                f"{self.rt.name}: barrier token path crosses dead edge(s) "
+                f"{sorted(self.rt.dead_edges)}"
+            )
+        return None
 
     def _ring_bit(self, side: str, bit: int) -> Generator:
         token = ("start" if bit == DOORBELL_BARRIER_START else "end")
@@ -97,9 +160,130 @@ class _TokenBarrier:
             yield from self.rt.forwarding_quiesce()
             yield from self.rt.links[side].driver.ring_doorbell(bit)
 
+    # -- degraded mode: the ring minus one cable is a line -----------------
+    def _degraded_wait(self) -> Generator:
+        """Watermark barrier over the surviving path (recovery barrier).
+
+        With dead edge ``(a, b)`` (b = a's right neighbor) the surviving
+        line runs ``b -> b+1 -> ... -> a`` rightward; host ``b`` acts as
+        the coordinator.  Control messages ride the data mailboxes and
+        are service-forwarded along the line — never across the dead
+        cable.  See the class docstring for the protocol and why it
+        tolerates generation skew.
+        """
+        rt = self.rt
+        if len(rt.dead_edges) != 1:
+            raise PeerUnreachableError(
+                f"{rt.name}: barrier impossible with "
+                f"{len(rt.dead_edges)} dead edges "
+                f"({sorted(rt.dead_edges)})"
+            )
+        if not isinstance(rt.topology, RingTopology):
+            raise PeerUnreachableError(
+                f"{rt.name}: dead edge partitions a non-ring topology"
+            )
+        (edge,) = rt.dead_edges
+        coordinator = edge[1]  # left end of the surviving line
+        gen = self.generation
+        with rt.scope.span("barrier_degraded", category="op",
+                           track=rt.name, gen=gen,
+                           coordinator=rt.my_pe_id == coordinator):
+            # Same flush rule as the token path: our arrival must not
+            # overtake data we are relaying along the line.
+            yield from rt.forwarding_quiesce()
+            if rt.my_pe_id == coordinator:
+                self._coord_arrive(rt.my_pe_id, gen)
+            else:
+                yield from self._send_degraded_msg(
+                    coordinator, gen, _MSG_ARRIVE)
+            while self._released < gen:
+                doom = self._line_doomed(edge)
+                if doom is not None:
+                    raise doom
+                resend = rt.env.timeout(self.RESEND_US)
+                yield rt.env.any_of([
+                    self._signal.wait(), rt.link_state_changed.wait(),
+                    resend,
+                ])
+                if (resend.triggered and self._released < gen
+                        and rt.my_pe_id != coordinator):
+                    # The arrival (or its release) may have been dropped
+                    # by a relay that had not yet learned of the dead
+                    # edge; arrivals are idempotent, so just re-send.
+                    yield from self._send_degraded_msg(
+                        coordinator, gen, _MSG_ARRIVE)
+        self.degraded_generation += 1
+        self.generation = gen + 1
+
+    def _coord_arrive(self, pe: int, gen: int) -> None:
+        """Coordinator: record an arrival, advance/re-send the watermark.
+
+        Synchronous (called from service dispatch or the local barrier
+        call); any sends it triggers run as detached processes.
+        """
+        self._arrivals[pe] = max(self._arrivals.get(pe, -1), gen)
+        rt = self.rt
+        if len(self._arrivals) == rt.n_pes:
+            watermark = min(self._arrivals.values())
+            if watermark > self._released:
+                self._released = watermark
+                self._signal.fire(("release", watermark))
+                for dest in range(rt.n_pes):
+                    if dest != rt.my_pe_id:
+                        rt.env.process(
+                            self._release_task(dest, watermark),
+                            name=f"{rt.name}.barrier.release{dest}",
+                        )
+                return
+        if self._released >= gen and pe != rt.my_pe_id:
+            # The sender re-arrived for an episode we already released:
+            # its RELEASE was lost, re-send to it alone.
+            rt.env.process(
+                self._release_task(pe, self._released),
+                name=f"{rt.name}.barrier.rerelease{pe}",
+            )
+
+    def _release_task(self, dest: int, watermark: int) -> Generator:
+        try:
+            yield from self._send_degraded_msg(
+                dest, watermark, _MSG_RELEASE)
+        except (LinkDownError, PeerUnreachableError):
+            pass  # the waiter re-ARRIVEs and we re-send
+
+    def _send_degraded_msg(self, dest: int, gen: int,
+                           subtype: int) -> Generator:
+        rt = self.rt
+        route = rt.route_to(dest)
+        link = rt.link_for(route.direction)
+        msg = Message(
+            kind=MsgKind.BARRIER_MSG, mode=Mode.DMA,
+            src_pe=rt.my_pe_id, dest_pe=dest, offset=0, size=0,
+            aux=((gen & 0xFFFFFF) << 8) | subtype,
+            seq=link.data_mailbox.next_seq(),
+        )
+        yield from link.data_mailbox.send(msg)
+
+    def _line_doomed(self, edge: tuple[int, int]) -> Optional[BaseException]:
+        live = self.rt.dead_edges == {edge}
+        if live:
+            return None
+        return PeerUnreachableError(
+            f"{self.rt.name}: topology changed mid-degraded-barrier "
+            f"(dead edges now {sorted(self.rt.dead_edges)})"
+        )
+
 
 class RingBarrier(_TokenBarrier):
-    """The paper's Fig. 6 two-round ring barrier."""
+    """The paper's Fig. 6 two-round ring barrier.
+
+    Fault behavior: a cable death mid-episode aborts the token round, and
+    ``wait()`` *recovers inside the same call* by re-synchronizing with
+    the degraded line sweep.  That keeps the barrier-call count aligned
+    across PEs — if some PEs raised while others completed, later
+    barriers would pair mismatched episodes and deadlock.  The call only
+    raises :class:`PeerUnreachableError` when the ring is genuinely
+    partitioned (two or more dead edges).
+    """
 
     def wait(self) -> Generator:
         rt = self.rt
@@ -110,7 +294,32 @@ class RingBarrier(_TokenBarrier):
             raise ShmemError(
                 f"{rt.name}: ring barrier needs both adapters"
             )
-        if rt.my_pe_id == 0:
+        if not rt.dead_edges:
+            try:
+                yield from self._token_wait()
+                return
+            except LinkDownError:
+                # Master abort: the hardware says the cable is gone, but
+                # only the failure detector can mark the edge.  Without
+                # one there is no recovery verdict — surface the error.
+                if not rt.fault_aware or not rt.heartbeats:
+                    raise
+            except PeerUnreachableError:
+                # Recover only on link death; a reply-deadline timeout
+                # with healthy links must surface to the caller.
+                if not rt.fault_aware or not rt.dead_edges:
+                    raise
+        # Recovery barrier: synchronize over the surviving path.  The
+        # hardware may report the dead cable (master abort) before the
+        # failure detector marks the edge; wait for the verdict so the
+        # recovery protocol knows the line layout.  Local signal, fired
+        # by our own failure detector.
+        while not rt.dead_edges:
+            yield rt.link_state_changed.wait()  # lint: skip
+        yield from self._degraded_wait()
+
+    def _token_wait(self) -> Generator:
+        if self.rt.my_pe_id == 0:
             # A stale wrapped END from the previous round may still be
             # latched (host N-1 rings END to us as it releases); host 0
             # never waits on END, so drain the counter at entry.
@@ -137,6 +346,12 @@ class ChainBarrier(_TokenBarrier):
         if n == 1:
             self.generation += 1
             return
+        if rt.dead_edges:
+            # A chain has no alternate path: any dead edge partitions it.
+            raise PeerUnreachableError(
+                f"{rt.name}: chain barrier impossible with dead edge(s) "
+                f"{sorted(rt.dead_edges)}"
+            )
         if me == 0:
             yield from self._ring_bit("right", DOORBELL_BARRIER_START)
             yield from self._await_end()
@@ -177,6 +392,18 @@ class DisseminationBarrier:
         self._arrived[key] = self._arrived.get(key, 0) + 1
         self._signal.fire(key)
 
+    def on_link_event(self) -> None:
+        """Notifications are generation-tagged: nothing to drain."""
+
+    def _partner_doomed(self, partner: int) -> Optional[BaseException]:
+        # Cables are bidirectional, so "I cannot reach my partner" is
+        # exactly "my partner cannot reach me".
+        try:
+            self.rt.route_to(partner)
+        except PeerUnreachableError as exc:
+            return exc
+        return None
+
     def wait(self) -> Generator:
         rt = self.rt
         n = rt.n_pes
@@ -200,7 +427,11 @@ class DisseminationBarrier:
                 yield from link.data_mailbox.send(msg)
             key = (gen, rnd)
             while self._arrived.get(key, 0) < 1:
-                yield self._signal.wait()
+                yield from remote_wait(
+                    rt, self._signal.wait(),
+                    what=f"dissemination round {rnd} notification",
+                    doomed=lambda p=partner: self._partner_doomed(p),
+                )
             self._arrived[key] -= 1
             if self._arrived[key] == 0:
                 del self._arrived[key]
@@ -232,6 +463,9 @@ class CentralizedBarrier:
         raise ProtocolError(
             f"{self.rt.name}: BARRIER_MSG under centralized barrier"
         )
+
+    def on_link_event(self) -> None:
+        """AMO round-trips already carry their own fault handling."""
 
     def _ensure_cells(self) -> None:
         # SPMD: every PE allocates in lockstep, so offsets agree.

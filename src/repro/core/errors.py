@@ -8,6 +8,7 @@ __all__ = [
     "SymmetricHeapError",
     "BadPeError",
     "TransferError",
+    "PeerUnreachableError",
     "ProtocolError",
     "RaceError",
 ]
@@ -31,6 +32,17 @@ class BadPeError(ShmemError):
 
 class TransferError(ShmemError):
     """Put/Get argument or data-path errors."""
+
+
+class PeerUnreachableError(TransferError):
+    """A remote round-trip could not complete because the path to the
+    peer is dead (severed cable detected by heartbeat, master abort, or
+    a bounded wait that expired).
+
+    Subclasses :class:`TransferError` so callers that already handle
+    transfer failures keep working; catch this type specifically to
+    distinguish "peer gone" from argument/data-path errors.
+    """
 
 
 class ProtocolError(ShmemError):

@@ -171,10 +171,10 @@ def run_spmd(main: PeMain, n_pes: int = 3,
         runtime = runtimes[pe_id]
         yield from runtime.initialize()
         init_latch.count_down()
-        yield init_latch.wait()  # launcher-style rendezvous
+        yield init_latch.wait()  # launcher rendezvous, local  # lint: skip
         results[pe_id] = yield from main(pes[pe_id])
         exit_latch.count_down()
-        yield exit_latch.wait()
+        yield exit_latch.wait()  # local rendezvous  # lint: skip
         if finalize:
             yield from runtime.finalize()
 

@@ -25,15 +25,25 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from ..fabric import Cluster, Direction, RoutingPolicy
+from ..fabric import (
+    Cluster,
+    Direction,
+    HeartbeatConfig,
+    HeartbeatMonitor,
+    LinkState,
+    Route,
+    RoutingPolicy,
+)
+from ..faults import FaultInjector, FaultPlan
 from ..host import Host, PinnedBuffer
-from ..ntb import NtbDriver
+from ..ntb import LinkDownError, NtbDriver
 from ..ntb.device import BYPASS_WINDOW, DATA_WINDOW
 from ..obsv.spans import NULL_SCOPE, ShmemScope, instrument_cluster
-from ..sim import Environment, Event, Signal, Tracer
+from ..sim import Environment, Event, Interrupt, Signal, Tracer
 from .errors import (
     BadPeError,
     NotInitializedError,
+    PeerUnreachableError,
     ProtocolError,
     ShmemError,
     TransferError,
@@ -58,6 +68,7 @@ from .transfer import (
     SPAD_BLOCK_RIGHTWARD,
     chunk_ranges,
 )
+from .waits import remote_wait
 
 __all__ = ["ShmemConfig", "ShmemRuntime", "LinkEnd", "PendingGet",
            "PendingAmo", "AmoOp"]
@@ -134,6 +145,20 @@ class ShmemConfig:
     #: ShmemScope span tracing (repro.obsv): record a causal span tree
     #: per operation.  Zero virtual-time cost; off by default.
     trace_spans: bool = False
+    #: Deterministic fault-injection plan (repro.faults); a non-empty
+    #: plan auto-enables the heartbeat failure detector.
+    faults: Optional[FaultPlan] = None
+    #: Heartbeat failure-detector knobs; None = detector off unless a
+    #: fault plan demands it.
+    heartbeat: Optional[HeartbeatConfig] = None
+    #: Send-side retries per Put/Get chunk (and per AMO request) before a
+    #: dead path surfaces as PeerUnreachableError.
+    max_retries: int = 2
+    #: First retry backoff (doubles per attempt).
+    retry_backoff_us: float = 50.0
+    #: Init-handshake patience: a missing neighbor raises instead of
+    #: polling ScratchPads forever.
+    handshake_timeout_us: float = 1_000_000.0
 
     def __post_init__(self) -> None:
         if self.rx_data_size < 4096:
@@ -153,6 +178,12 @@ class ShmemConfig:
             )
         if self.sanitize_granularity < 1:
             raise ValueError("sanitize_granularity must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_us < 0:
+            raise ValueError("retry_backoff_us must be >= 0")
+        if self.handshake_timeout_us <= 0:
+            raise ValueError("handshake_timeout_us must be positive")
 
 
 @dataclass
@@ -185,6 +216,11 @@ class PendingGet:
     done: Event
     received: int = 0
     started_at: float = 0.0
+    #: target PE and route at issue time, so a link-death handler can
+    #: tell which pending requests just lost their path.
+    pe: int = 0
+    direction: Optional[Direction] = None
+    hops: int = 0
 
 
 @dataclass
@@ -194,6 +230,9 @@ class PendingAmo:
     req_id: int
     done: Event
     started_at: float = 0.0
+    pe: int = 0
+    direction: Optional[Direction] = None
+    hops: int = 0
 
 
 class ShmemRuntime:
@@ -257,6 +296,40 @@ class ShmemRuntime:
             self.scope = scope
         if self.san is not None and self.scope.enabled:
             self.san.scope = self.scope
+        # -- fault tolerance ------------------------------------------------
+        #: ring edges currently declared dead, in the topology's directed
+        #: cable naming: edge (a, b) is the cable from a to its right
+        #: neighbor b.
+        self.dead_edges: set[tuple[int, int]] = set()
+        #: fired on every edge death/recovery; bounded remote waits race
+        #: it so they unblock the instant the path dies.
+        self.link_state_changed = Signal(
+            self.env, name=f"{self.name}.link_state")
+        self.heartbeats: dict[str, HeartbeatMonitor] = {}
+        self._link_watchers: list = []
+        self.reroutes = 0
+        self.retries = 0
+        self.fault_injector: Optional[FaultInjector] = None
+        hb = self.config.heartbeat
+        if hb is None and self.config.faults:
+            # A non-empty fault plan without explicit heartbeat knobs
+            # still gets a failure detector, with defaults.
+            hb = HeartbeatConfig()
+        self._heartbeat_config = hb
+        #: False = every remote wait is a bare passthrough, keeping
+        #: fault-free runs byte-identical in virtual time; True = waits
+        #: are deadline-bounded and link-state aware.
+        self.fault_aware = (hb is not None
+                            or self.config.reply_timeout_us is not None)
+        if self.config.faults is not None:
+            # Cluster-singleton, like the sanitizer: the first runtime
+            # with a plan installs it for everyone.
+            injector = getattr(cluster, "fault_injector", None)
+            if injector is None:
+                injector = FaultInjector(cluster, self.config.faults)
+                injector.install()
+                cluster.fault_injector = injector
+            self.fault_injector = injector
 
     # ------------------------------------------------------------------ init
     def initialize(self) -> Generator:
@@ -300,6 +373,8 @@ class ShmemRuntime:
 
         self.barrier = make_barrier(self)
         self._amo_tx = self.host.alloc_pinned(4096)
+        if self._heartbeat_config is not None:
+            self._start_failure_detector()
         self.initialized = True
 
     def _setup_link(self, side: str, driver: NtbDriver) -> None:
@@ -339,12 +414,20 @@ class ShmemRuntime:
         then program windows + LUT — §III-B.1 step 1 verbatim."""
         driver = link.driver
         out, inc = link.data_mailbox.spad_block, link.incoming_spad_block
-        # Learn the neighbor.
+        # Learn the neighbor.  A neighbor that never says hello (severed
+        # cable, dead host) must surface as a typed error, not an
+        # infinite ScratchPad poll.
+        start = self.env.now
         while True:
             value = yield from driver.spad_read(inc + 0)
             if (value & 0xFFFF0000) == _HELLO_MAGIC:
                 link.peer_host_id = value & 0xFFFF
                 break
+            if self.env.now - start > self.config.handshake_timeout_us:
+                raise PeerUnreachableError(
+                    f"{self.name}: no hello from {link.side} neighbor "
+                    f"after {self.config.handshake_timeout_us} µs"
+                )
             yield self.env.timeout(self.config.handshake_poll_us)
         # Program incoming translations now that we know who is talking,
         # and add the peer's requester id to our LUT.
@@ -364,10 +447,16 @@ class ShmemRuntime:
         path only decodes the block when a message doorbell rings, by
         which time a fresh header has overwritten it."""
         inc = link.incoming_spad_block
+        start = self.env.now
         while True:
             value = yield from link.driver.spad_read(inc + 1)
             if (value & 0xFFFF0000) == _READY_MAGIC:
                 break
+            if self.env.now - start > self.config.handshake_timeout_us:
+                raise PeerUnreachableError(
+                    f"{self.name}: {link.side} neighbor never became READY "
+                    f"({self.config.handshake_timeout_us} µs)"
+                )
             yield self.env.timeout(self.config.handshake_poll_us)
 
     def _register_irqs(self) -> None:
@@ -405,6 +494,7 @@ class ShmemRuntime:
     def finalize(self) -> Generator:
         """``shmem_finalize()`` — quiesce, stop the service, release."""
         self._check_ready()
+        self._stop_failure_detector()
         yield from self.quiet()
         assert self.service is not None
         yield from self.service.stop()
@@ -452,8 +542,195 @@ class ShmemRuntime:
     def neighbor_pe(self, direction: Direction) -> Optional[int]:
         return self.topology.neighbor(self.my_pe_id, direction)
 
-    def route_to(self, pe: int):
-        return self.topology.route(self.my_pe_id, pe, self.config.routing)
+    def route_to(self, pe: int) -> Route:
+        """Resolve a route, steering around edges declared dead.
+
+        The fault-free fast path is byte-identical to the pre-fault
+        runtime: with no dead edges the policy route is returned
+        untouched.  A blocked policy route falls back to the opposite
+        direction (the long way around the ring); no live path raises
+        :class:`PeerUnreachableError`.
+        """
+        route = self.topology.route(self.my_pe_id, pe, self.config.routing)
+        if not self.dead_edges:
+            return route
+        if not self._route_blocked(route):
+            return route
+        alt_hops = self.topology.hops(
+            self.my_pe_id, pe, route.direction.opposite)
+        if alt_hops is not None:
+            alt = Route(route.direction.opposite, alt_hops)
+            if not self._route_blocked(alt):
+                self.reroutes += 1
+                self.tracer.count(f"{self.name}.reroute")
+                return alt
+        raise PeerUnreachableError(
+            f"{self.name}: no live route to PE {pe} "
+            f"(dead edges: {sorted(self.dead_edges)})"
+        )
+
+    # -------------------------------------------------------- fault handling
+    def _start_failure_detector(self) -> None:
+        """One heartbeat monitor + link watcher per adapter."""
+        hb = self._heartbeat_config
+        assert hb is not None
+        for side, link in self.links.items():
+            monitor = HeartbeatMonitor(
+                link.driver, period_us=hb.period_us,
+                miss_threshold=hb.miss_threshold,
+            )
+            monitor.start()
+            self.heartbeats[side] = monitor
+            watcher = self.env.process(
+                self._watch_link(side, monitor),
+                name=f"{self.name}.{side}.linkwatch",
+            )
+            self._link_watchers.append(watcher)
+
+    def _stop_failure_detector(self) -> None:
+        for monitor in self.heartbeats.values():
+            monitor.stop()
+        self.heartbeats.clear()
+        for watcher in self._link_watchers:
+            if watcher.is_alive and watcher._target is not None:
+                watcher.interrupt("runtime finalized")
+        self._link_watchers.clear()
+
+    def _watch_link(self, side: str, monitor: HeartbeatMonitor) -> Generator:
+        """React to the failure detector's ALIVE <-> DEAD transitions."""
+        try:
+            while True:
+                state = yield monitor.wait_state_change()
+                edge = self._edge_for_side(side)
+                if state is LinkState.DEAD:
+                    yield from self._mark_edge_dead(edge, announce=True)
+                elif state is LinkState.ALIVE:
+                    yield from self._mark_edge_alive(edge, announce=True)
+        except Interrupt:
+            return
+
+    def _edge_for_side(self, side: str) -> tuple[int, int]:
+        """The directed cable name for one of my adapters."""
+        if side == "right":
+            nxt = self.neighbor_pe(Direction.RIGHT)
+            assert nxt is not None
+            return (self.my_pe_id, nxt)
+        prev = self.neighbor_pe(Direction.LEFT)
+        assert prev is not None
+        return (prev, self.my_pe_id)
+
+    def _route_blocked(self, route: Route) -> bool:
+        """Does ``route`` (starting at me) cross a dead edge?"""
+        if not self.dead_edges:
+            return False
+        node = self.my_pe_id
+        for _ in range(route.hops):
+            nxt = self.topology.neighbor(node, route.direction)
+            if nxt is None:
+                return True
+            edge = (node, nxt) if route.direction is Direction.RIGHT \
+                else (nxt, node)
+            if edge in self.dead_edges:
+                return True
+            node = nxt
+        return False
+
+    def apply_edge_dead(self, edge: tuple[int, int]) -> bool:
+        """Record a dead edge: fail doomed pending requests, flush the
+        affected mailboxes, reset the barrier's token state and wake every
+        bounded wait.  Idempotent; returns True only on first report."""
+        if edge in self.dead_edges:
+            return False
+        self.dead_edges.add(edge)
+        self._fail_pending_on_edge()
+        for link in self.links.values():
+            if self._edge_for_side(link.side) == edge:
+                link.data_mailbox.fail_outstanding()
+                link.bypass_mailbox.fail_outstanding()
+        if self.barrier is not None:
+            self.barrier.on_link_event()
+        self.tracer.count(f"{self.name}.edge_dead")
+        self.link_state_changed.fire(("dead", edge))
+        return True
+
+    def apply_edge_alive(self, edge: tuple[int, int]) -> bool:
+        """Record a recovered edge; returns True if it had been dead."""
+        if edge not in self.dead_edges:
+            return False
+        self.dead_edges.discard(edge)
+        if self.barrier is not None:
+            self.barrier.on_link_event()
+        self.tracer.count(f"{self.name}.edge_alive")
+        self.link_state_changed.fire(("alive", edge))
+        return True
+
+    def _fail_pending_on_edge(self) -> None:
+        """Fail every pending Get/AMO whose issue-time route now crosses a
+        dead edge, so blocking callers stop waiting immediately."""
+        for table, what in ((self.pending_gets, "get"),
+                            (self.pending_amos, "amo")):
+            for req_id, pending in list(table.items()):
+                if pending.direction is None:
+                    continue
+                if not self._route_blocked(
+                        Route(pending.direction, pending.hops)):
+                    continue
+                if not pending.done.triggered:
+                    exc = PeerUnreachableError(
+                        f"{self.name}: {what} request {req_id} to PE "
+                        f"{pending.pe} lost to a dead link"
+                    )
+                    # Defuse: the waiter (if any) still receives the
+                    # failure through its AnyOf condition, but a request
+                    # caught between send and wait must not crash the
+                    # kernel as an unhandled failed event.
+                    pending.done.fail(exc).defuse()
+
+    def _mark_edge_dead(self, edge: tuple[int, int],
+                        announce: bool = False) -> Generator:
+        if not self.apply_edge_dead(edge):
+            return
+        if announce:
+            yield from self._announce_link_state(MsgKind.LINK_DOWN, edge)
+
+    def _mark_edge_alive(self, edge: tuple[int, int],
+                         announce: bool = False) -> Generator:
+        if not self.apply_edge_alive(edge):
+            return
+        if announce:
+            yield from self._announce_link_state(MsgKind.LINK_UP, edge)
+
+    def _announce_link_state(self, kind: int,
+                             edge: tuple[int, int]) -> Generator:
+        """Flood an edge's death/recovery away from the edge itself.
+
+        Each surviving endpoint of the edge sends one control message to
+        the *far* endpoint the long way around; every host on that path
+        applies and relays it (service-thread dispatch), so the whole
+        ring learns from whichever endpoint's announcement arrives first.
+        """
+        my_side = None
+        for side in self.links:
+            if self._edge_for_side(side) == edge:
+                my_side = side
+                break
+        if my_side is None:
+            return  # not an endpoint of this edge; relaying is enough
+        out_side = "left" if my_side == "right" else "right"
+        link = self.links.get(out_side)
+        if link is None:
+            return
+        dest = edge[1] if edge[0] == self.my_pe_id else edge[0]
+        msg = Message(
+            kind=kind, mode=Mode.DMA, src_pe=self.my_pe_id,
+            dest_pe=dest, offset=0, size=0,
+            aux=((edge[0] & 0xFF) << 8) | (edge[1] & 0xFF),
+            seq=link.data_mailbox.next_seq(),
+        )
+        try:
+            yield from link.data_mailbox.send(msg)
+        except (LinkDownError, PeerUnreachableError):
+            pass  # both our cables are dead: nobody left to tell
 
     def deliver_to_heap(self, offset: int, data: np.ndarray) -> None:
         """Land bytes in the local symmetric heap + publish the update."""
@@ -503,34 +780,47 @@ class ShmemRuntime:
             data = self.host.read_user(src_virt, nbytes)
             self.deliver_to_heap(dest.offset, data)
             return
-        route = self.route_to(pe)
-        link = self.link_for(route.direction)
-        if route.hops == 1:
-            for chunk_off, chunk_size in chunk_ranges(
-                    nbytes, self.config.rx_data_size):
-                msg = Message(
-                    kind=MsgKind.PUT_DATA, mode=mode,
-                    src_pe=self.my_pe_id, dest_pe=pe,
-                    offset=dest.offset + chunk_off, size=chunk_size,
-                    seq=link.data_mailbox.next_seq(),
-                )
-                payload = PayloadSource.from_user(
-                    self.host, src_virt + chunk_off, chunk_size
-                )
-                yield from link.data_mailbox.send(msg, payload)
-        else:
-            for chunk_off, chunk_size in chunk_ranges(
-                    nbytes, self.config.fwd_chunk):
-                msg = Message(
-                    kind=MsgKind.PUT_FWD, mode=mode,
-                    src_pe=self.my_pe_id, dest_pe=pe,
-                    offset=dest.offset + chunk_off, size=chunk_size,
-                    seq=link.bypass_mailbox.next_seq(),
-                )
-                payload = PayloadSource.from_user(
-                    self.host, src_virt + chunk_off, chunk_size
-                )
-                yield from link.bypass_mailbox.send(msg, payload)
+        cursor = 0
+        attempt = 0
+        while cursor < nbytes:
+            # Route per chunk: a mid-transfer sever reroutes the rest of
+            # the message the long way around.  The chunk limit follows
+            # the route — a rerouted chunk must fit the bypass slot, not
+            # the neighbor's data window.
+            route = self.route_to(pe)
+            link = self.link_for(route.direction)
+            if route.hops == 1:
+                mailbox, limit = link.data_mailbox, self.config.rx_data_size
+                kind = MsgKind.PUT_DATA
+            else:
+                mailbox, limit = link.bypass_mailbox, self.config.fwd_chunk
+                kind = MsgKind.PUT_FWD
+            chunk_size = min(limit, nbytes - cursor)
+            msg = Message(
+                kind=kind, mode=mode,
+                src_pe=self.my_pe_id, dest_pe=pe,
+                offset=dest.offset + cursor, size=chunk_size,
+                seq=mailbox.next_seq(),
+            )
+            payload = PayloadSource.from_user(
+                self.host, src_virt + cursor, chunk_size
+            )
+            try:
+                yield from mailbox.send(msg, payload)
+            except (LinkDownError, PeerUnreachableError) as exc:
+                if not self.fault_aware \
+                        or attempt >= self.config.max_retries:
+                    raise PeerUnreachableError(
+                        f"{self.name}: put to PE {pe} failed at byte "
+                        f"{cursor}/{nbytes}: {exc}"
+                    ) from exc
+                attempt += 1
+                self.retries += 1
+                yield self.env.timeout(
+                    self.config.retry_backoff_us * (2 ** (attempt - 1)))
+                continue
+            cursor += chunk_size
+            attempt = 0
 
     # ------------------------------------------------------------------- get
     def get(self, src: SymAddr, nbytes: int, pe: int, dest_virt: int,
@@ -573,8 +863,6 @@ class ShmemRuntime:
             data = self.heap.read(src, nbytes)
             self.host.write_user(dest_virt, data)
             return
-        route = self.route_to(pe)
-        link = self.link_for(route.direction)
         # Requester-driven chunking: one GET_REQ per get_chunk, each chunk
         # completing end-to-end before the next request is issued.  This
         # serialization across the whole path is what makes Get latency
@@ -582,11 +870,24 @@ class ShmemRuntime:
         # request + response traversal of the ring.
         for chunk_off, chunk_size in chunk_ranges(
                 nbytes, self.config.get_chunk):
+            yield from self._get_chunk(src, pe, dest_virt, mode,
+                                       chunk_off, chunk_size)
+
+    def _get_chunk(self, src: SymAddr, pe: int, dest_virt: int, mode: Mode,
+                   chunk_off: int, chunk_size: int) -> Generator:
+        """One GET_REQ round trip, with retry: a Get is an idempotent
+        read, so a chunk lost to a dead link is simply re-requested over
+        whatever route is currently live."""
+        attempt = 0
+        while True:
+            route = self.route_to(pe)
+            link = self.link_for(route.direction)
             req_id = self.next_req_id()
             pending = PendingGet(
                 req_id=req_id, dest_virt=dest_virt + chunk_off,
                 nbytes=chunk_size, mode=mode,
                 done=self.env.event(), started_at=self.env.now,
+                pe=pe, direction=route.direction, hops=route.hops,
             )
             self.pending_gets[req_id] = pending
             msg = Message(
@@ -595,9 +896,27 @@ class ShmemRuntime:
                 offset=src.offset + chunk_off, size=chunk_size, aux=req_id,
                 seq=link.data_mailbox.next_seq(),
             )
-            yield from link.data_mailbox.send(msg)
-            yield from self._await_reply(pending.done, "get", req_id)
-            del self.pending_gets[req_id]
+            try:
+                yield from link.data_mailbox.send(msg)
+                yield from remote_wait(self, pending.done,
+                                       what=f"get request {req_id}")
+                return
+            except (LinkDownError, PeerUnreachableError) as exc:
+                if not self.fault_aware \
+                        or attempt >= self.config.max_retries:
+                    raise PeerUnreachableError(
+                        f"{self.name}: get chunk at +{chunk_off} from PE "
+                        f"{pe} failed: {exc}"
+                    ) from exc
+                attempt += 1
+                self.retries += 1
+            finally:
+                # The pending table drains no matter how the chunk ends;
+                # a straggler response for a retired req_id is tolerated
+                # (and dropped) by the service thread.
+                self.pending_gets.pop(req_id, None)
+            yield self.env.timeout(
+                self.config.retry_backoff_us * (2 ** (attempt - 1)))
 
     # ------------------------------------------------------------------- amo
     def amo(self, pe: int, target: SymAddr, op: int, value: int = 0,
@@ -631,44 +950,52 @@ class ShmemRuntime:
                 target.offset, op, value, compare
             )
             return old
-        route = self.route_to(pe)
-        link = self.link_for(route.direction)
-        req_id = self.next_req_id()
-        pending = PendingAmo(req_id=req_id, done=self.env.event(),
-                             started_at=self.env.now)
-        self.pending_amos[req_id] = pending
-        operand = struct.pack(_AMO_REQ_FMT, op, 0, value, compare)
-        assert self._amo_tx is not None
-        self.host.memory.write(self._amo_tx.phys, np.frombuffer(
-            operand, dtype=np.uint8))
-        msg = Message(
-            kind=MsgKind.AMO_REQ, mode=Mode.DMA,
-            src_pe=self.my_pe_id, dest_pe=pe,
-            offset=target.offset, size=len(operand), aux=req_id,
-            seq=link.data_mailbox.next_seq(),
-        )
-        payload = PayloadSource.from_pinned(
-            self.host, self._amo_tx, 0, len(operand)
-        )
-        yield from link.data_mailbox.send(msg, payload)
-        old = yield from self._await_reply(pending.done, "amo", req_id)
-        del self.pending_amos[req_id]
-        return old
-
-    def _await_reply(self, done: Event, op: str, req_id: int) -> Generator:
-        """Wait for a reply event, optionally under the watchdog."""
-        timeout_us = self.config.reply_timeout_us
-        if timeout_us is None:
-            value = yield done
-            return value
-        timer = self.env.timeout(timeout_us)
-        outcome = yield self.env.any_of([done, timer])
-        if done in outcome:
-            return outcome[done]
-        raise TransferError(
-            f"{self.name}: {op} request {req_id} timed out after "
-            f"{timeout_us} µs (lost response? dead link?)"
-        )
+        attempt = 0
+        while True:
+            route = self.route_to(pe)
+            link = self.link_for(route.direction)
+            req_id = self.next_req_id()
+            pending = PendingAmo(req_id=req_id, done=self.env.event(),
+                                 started_at=self.env.now, pe=pe,
+                                 direction=route.direction, hops=route.hops)
+            self.pending_amos[req_id] = pending
+            operand = struct.pack(_AMO_REQ_FMT, op, 0, value, compare)
+            assert self._amo_tx is not None
+            self.host.memory.write(self._amo_tx.phys, np.frombuffer(
+                operand, dtype=np.uint8))
+            msg = Message(
+                kind=MsgKind.AMO_REQ, mode=Mode.DMA,
+                src_pe=self.my_pe_id, dest_pe=pe,
+                offset=target.offset, size=len(operand), aux=req_id,
+                seq=link.data_mailbox.next_seq(),
+            )
+            payload = PayloadSource.from_pinned(
+                self.host, self._amo_tx, 0, len(operand)
+            )
+            try:
+                yield from link.data_mailbox.send(msg, payload)
+            except (LinkDownError, PeerUnreachableError) as exc:
+                # The send failed before the doorbell rang, so the owner
+                # never saw the request: retrying cannot double-apply.
+                self.pending_amos.pop(req_id, None)
+                if not self.fault_aware \
+                        or attempt >= self.config.max_retries:
+                    raise PeerUnreachableError(
+                        f"{self.name}: amo request to PE {pe} failed: {exc}"
+                    ) from exc
+                attempt += 1
+                self.retries += 1
+                yield self.env.timeout(
+                    self.config.retry_backoff_us * (2 ** (attempt - 1)))
+                continue
+            try:
+                # A reply lost *after* the send may mean the atomic was
+                # applied: never retry past this point (at-most-once).
+                old = yield from remote_wait(self, pending.done,
+                                             what=f"amo request {req_id}")
+                return old
+            finally:
+                self.pending_amos.pop(req_id, None)
 
     # ------------------------------------------------------------ non-blocking
     def put_nbi(self, dest: SymAddr, src_virt: int, nbytes: int, pe: int,

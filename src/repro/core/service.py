@@ -25,7 +25,8 @@ from typing import TYPE_CHECKING, Generator, Optional
 import numpy as np
 
 from ..host import KernelThread
-from .errors import ProtocolError
+from ..ntb import LinkDownError
+from .errors import PeerUnreachableError, ProtocolError
 from .heap import SymAddr
 from .transfer import (
     Message,
@@ -99,6 +100,11 @@ class ShmemService:
         self.active_responders = 0
         #: in-flight spawned forward/reply tasks (see _spawn_task).
         self.active_forwards = 0
+        #: fault diagnostics: chunks dropped at a dead edge, responses
+        #: abandoned mid-stream, straggler replies for retired requests.
+        self.dropped_forwards = 0
+        self.abandoned_responses = 0
+        self.stale_responses = 0
 
     # ---------------------------------------------------------------- intake
     def enqueue(self, side: str, kind: str) -> None:
@@ -144,9 +150,18 @@ class ShmemService:
     def _handle_data(self, side: str) -> Generator:
         """A data-window message: header in ScratchPads, payload at rx[0]."""
         link = self.rt.links[side]
-        msg = yield from link.data_mailbox.recv_header(
-            link.incoming_spad_block
-        )
+        try:
+            msg = yield from link.data_mailbox.recv_header(
+                link.incoming_spad_block
+            )
+        except ProtocolError:
+            if self.rt.fault_aware:
+                # The cable died between the doorbell and this read: the
+                # ScratchPads master-abort to all-ones, which decodes to
+                # an invalid kind.  Drop the orphaned work item.
+                self.stale_responses += 1
+                return
+            raise
         scope = self.rt.scope
         # Adopt the sender's span so this hop's work joins its tree.
         ctx = scope.adopt_msg(msg)
@@ -244,6 +259,20 @@ class ShmemService:
                 yield from self._forward_control(msg, link)
             return
 
+        if kind in (MsgKind.LINK_DOWN, MsgKind.LINK_UP):
+            # Control flood from a dead edge's endpoint (see
+            # ShmemRuntime._announce_link_state): apply locally, then
+            # relay onward in the same direction until the far endpoint.
+            yield from self._ack(link, channel)
+            edge = ((msg.aux >> 8) & 0xFF, msg.aux & 0xFF)
+            if kind is MsgKind.LINK_DOWN:
+                rt.apply_edge_dead(edge)
+            else:
+                rt.apply_edge_alive(edge)
+            if msg.dest_pe != me:
+                yield from self._forward_control(msg, link)
+            return
+
         raise ProtocolError(f"{rt.name}: unhandled kind {kind!r}")
 
     # --------------------------------------------------------------- delivery
@@ -264,6 +293,12 @@ class ShmemService:
         rt = self.rt
         pending = rt.pending_gets.get(msg.aux)
         if pending is None:
+            if rt.fault_aware:
+                # Straggler response for a request that was failed or
+                # retried after a link event: drain the slot, drop it.
+                self.stale_responses += 1
+                yield from self._ack(link, channel)
+                return
             raise ProtocolError(
                 f"{rt.name}: GET_RESP for unknown request {msg.aux}"
             )
@@ -284,7 +319,8 @@ class ShmemService:
             rt.host.write_user(pending.dest_virt + msg.offset, data)
             pending.received += msg.size
             yield from self._ack(link, channel)
-        if pending.received >= pending.nbytes:
+        if pending.received >= pending.nbytes \
+                and not pending.done.triggered:
             pending.done.succeed()
 
     def _deliver_amo_resp(self, msg: Message, link: "LinkEnd",
@@ -292,13 +328,18 @@ class ShmemService:
         rt = self.rt
         pending = rt.pending_amos.get(msg.aux)
         if pending is None:
+            if rt.fault_aware:
+                self.stale_responses += 1
+                yield from self._ack(link, channel)
+                return
             raise ProtocolError(
                 f"{rt.name}: AMO_RESP for unknown request {msg.aux}"
             )
         raw = rt.host.memory.read_bytes(payload_phys, 8)
         (old,) = struct.unpack(_AMO_RESP_FMT, raw)
         yield from self._ack(link, channel)
-        pending.done.succeed(old)
+        if not pending.done.triggered:
+            pending.done.succeed(old)
 
     # -------------------------------------------------------------- forwarding
     def _out_link(self, in_link: "LinkEnd") -> "LinkEnd":
@@ -326,6 +367,16 @@ class ShmemService:
         rt = self.rt
         out_link = self._out_link(in_link)
         next_pe = rt.neighbor_pe(out_link.direction)
+        if rt.dead_edges \
+                and rt._edge_for_side(out_link.side) in rt.dead_edges:
+            # The onward cable is declared dead: behave like the posted
+            # fabric itself — ACK the sender (its slot must come back)
+            # and drop the chunk.  End-to-end recovery is the
+            # requester's job (retry / reroute / typed error).
+            yield from self._ack(in_link, channel)
+            self.dropped_forwards += 1
+            rt.tracer.count(f"{rt.name}.fwd_dropped")
+            return
         with rt.scope.span("bypass_forward", category="service",
                            track=f"{rt.name}.service", nbytes=msg.size,
                            next_pe=next_pe):
@@ -406,6 +457,13 @@ class ShmemService:
                         self.rt.host, staging, 0, msg.size
                     )
                 yield from self._send_onward(msg, out_link, next_pe, payload)
+        except (LinkDownError, PeerUnreachableError):
+            # Posted-write semantics: a chunk in flight when the cable
+            # died is simply lost.  This task is detached — letting the
+            # exception escape would crash the whole simulation, not
+            # just this transfer.
+            self.dropped_forwards += 1
+            self.rt.tracer.count(f"{self.rt.name}.fwd_dropped")
         finally:
             if staging is not None:
                 self.rt.host.free_pinned(staging)
@@ -449,6 +507,11 @@ class ShmemService:
                     )
                     yield from self._send_onward(resp, out_link, next_pe,
                                                  payload)
+        except (LinkDownError, PeerUnreachableError):
+            # Reverse path died mid-stream: abandon the response.  The
+            # requester's bounded wait notices and retries or raises.
+            self.abandoned_responses += 1
+            rt.tracer.count(f"{rt.name}.get_resp_abandoned")
         finally:
             rt.host.free_pinned(staging)
             self.active_responders -= 1

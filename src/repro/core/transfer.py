@@ -99,12 +99,15 @@ class MsgKind(enum.IntEnum):
     AMO_REQ = 5      # control+operand: remote atomic request
     AMO_RESP = 6     # payload: atomic old-value reply
     BARRIER_MSG = 7  # control: dissemination-barrier notification
+    LINK_DOWN = 8    # control: an edge of the ring died (aux = edge)
+    LINK_UP = 9      # control: a previously dead edge recovered
 
     @property
     def doorbell_bit(self) -> int:
         if self in (MsgKind.PUT_DATA, MsgKind.PUT_FWD):
             return DOORBELL_DMAPUT
-        if self in (MsgKind.GET_REQ, MsgKind.GET_RESP, MsgKind.BARRIER_MSG):
+        if self in (MsgKind.GET_REQ, MsgKind.GET_RESP, MsgKind.BARRIER_MSG,
+                    MsgKind.LINK_DOWN, MsgKind.LINK_UP):
             return DOORBELL_DMAGET
         return DOORBELL_AMO
 
@@ -254,9 +257,13 @@ class _MailboxBase:
         self._slots = Resource(env, capacity=capacity, name=f"{name}.slots")
         self._outstanding: deque = deque()
         self._seq = 0
+        #: slots force-released by fail_outstanding(); a late ACK for one
+        #: of these is expected, not a protocol violation.
+        self._flushed = 0
         #: diagnostics
         self.sent_count = 0
         self.acked_count = 0
+        self.failed_count = 0
 
     def next_seq(self) -> int:
         self._seq = (self._seq + 1) & 0xFF
@@ -265,10 +272,31 @@ class _MailboxBase:
     def on_ack(self) -> None:
         """Peer drained our oldest outstanding slot (ACK doorbell)."""
         if not self._outstanding:
+            if self._flushed > 0:
+                # ACK raced with a link-death flush: the doorbell was in
+                # flight when fail_outstanding() released the slot.
+                self._flushed -= 1
+                return
             raise ProtocolError(f"{self.name}: ACK with nothing outstanding")
         request = self._outstanding.popleft()
         self.acked_count += 1
         self._slots.release(request)
+
+    def fail_outstanding(self) -> int:
+        """Link died: force-release every outstanding slot.
+
+        Messages already handed to a severed cable will never be ACKed;
+        without this, senders queueing for a slot would wait forever.
+        Returns the number of slots flushed.
+        """
+        flushed = 0
+        while self._outstanding:
+            request = self._outstanding.popleft()
+            self._slots.release(request)
+            self._flushed += 1
+            self.failed_count += 1
+            flushed += 1
+        return flushed
 
     @property
     def in_flight(self) -> int:
@@ -304,22 +332,31 @@ class DataMailbox(_MailboxBase):
             request = self._slots.request()
             yield request
         self._outstanding.append(request)
-        if payload is not None:
-            if msg.size != payload.nbytes:
-                raise ProtocolError(
-                    f"{self.name}: header size {msg.size} != payload "
-                    f"{payload.nbytes}"
-                )
-            with scope.span("payload_write", category="mailbox",
-                            track=self.name, nbytes=payload.nbytes,
-                            mode=msg.mode.name):
-                yield from self._write_payload(msg.mode, payload)
-        regs = pack_message(msg)
-        with scope.span("header_write", category="mailbox",
-                        track=self.name, kind=msg.kind.name):
-            yield from self.driver.spad_write_block(self.spad_block,
-                                                    list(regs))
-        yield from self.driver.ring_doorbell(msg.kind.doorbell_bit)
+        try:
+            if payload is not None:
+                if msg.size != payload.nbytes:
+                    raise ProtocolError(
+                        f"{self.name}: header size {msg.size} != payload "
+                        f"{payload.nbytes}"
+                    )
+                with scope.span("payload_write", category="mailbox",
+                                track=self.name, nbytes=payload.nbytes,
+                                mode=msg.mode.name):
+                    yield from self._write_payload(msg.mode, payload)
+            regs = pack_message(msg)
+            with scope.span("header_write", category="mailbox",
+                            track=self.name, kind=msg.kind.name):
+                yield from self.driver.spad_write_block(self.spad_block,
+                                                        list(regs))
+            yield from self.driver.ring_doorbell(msg.kind.doorbell_bit)
+        except BaseException:
+            # The message never reached the peer, so no ACK will release
+            # this slot — reclaim it here or the capacity-1 channel wedges.
+            if request in self._outstanding:
+                self._outstanding.remove(request)
+                self._slots.release(request)
+                self.failed_count += 1
+            raise
         self.sent_count += 1
 
     def _write_payload(self, mode: Mode, payload: PayloadSource) -> Generator:
@@ -402,37 +439,46 @@ class BypassMailbox(_MailboxBase):
         slot = self._next_slot
         self._next_slot = (self._next_slot + 1) % self.slots
         base = slot * self.slot_stride
-        with scope.span("tx_wait", category="mailbox", track=self.name,
-                        slot=slot):
-            tx = self._tx_lock.request()
-            yield tx
         try:
-            # Payload first, header last: the header's arrival (plus the
-            # doorbell) publishes the slot, so the receiver never sees a
-            # torn message.
-            with scope.span("payload_write", category="mailbox",
-                            track=self.name, nbytes=payload.nbytes,
-                            mode=msg.mode.name, slot=slot):
-                if msg.mode is Mode.DMA:
-                    dma_req = yield from self.driver.dma_write_segments(
-                        BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
-                        payload.segments()
-                    )
-                    yield dma_req.done
-                else:
+            with scope.span("tx_wait", category="mailbox", track=self.name,
+                            slot=slot):
+                tx = self._tx_lock.request()
+                yield tx
+            try:
+                # Payload first, header last: the header's arrival (plus the
+                # doorbell) publishes the slot, so the receiver never sees a
+                # torn message.
+                with scope.span("payload_write", category="mailbox",
+                                track=self.name, nbytes=payload.nbytes,
+                                mode=msg.mode.name, slot=slot):
+                    if msg.mode is Mode.DMA:
+                        dma_req = yield from self.driver.dma_write_segments(
+                            BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
+                            payload.segments()
+                        )
+                        yield dma_req.done
+                    else:
+                        yield from self.driver.pio_window_write(
+                            BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
+                            payload.data()
+                        )
+                with scope.span("header_write", category="mailbox",
+                                track=self.name, kind=msg.kind.name,
+                                slot=slot):
                     yield from self.driver.pio_window_write(
-                        BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
-                        payload.data()
+                        BYPASS_WINDOW, base,
+                        np.frombuffer(pack_header_bytes(msg), dtype=np.uint8)
                     )
-            with scope.span("header_write", category="mailbox",
-                            track=self.name, kind=msg.kind.name, slot=slot):
-                yield from self.driver.pio_window_write(
-                    BYPASS_WINDOW, base,
-                    np.frombuffer(pack_header_bytes(msg), dtype=np.uint8)
-                )
-            yield from self.driver.ring_doorbell(DOORBELL_BYPASS_MSG)
-        finally:
-            self._tx_lock.release(tx)
+                yield from self.driver.ring_doorbell(DOORBELL_BYPASS_MSG)
+            finally:
+                self._tx_lock.release(tx)
+        except BaseException:
+            # Undelivered: no ACK will ever free this slot (see DataMailbox).
+            if request in self._outstanding:
+                self._outstanding.remove(request)
+                self._slots.release(request)
+                self.failed_count += 1
+            raise
         self.sent_count += 1
 
     def ack(self) -> Generator:

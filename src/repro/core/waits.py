@@ -1,0 +1,83 @@
+"""The bounded-wait helper for remote round-trips.
+
+Every wait on an event that only a *remote* peer can complete — get
+chunks, AMO replies, barrier tokens, heap-update watches — goes through
+:func:`remote_wait`; the ``bounded-wait`` lint rule enforces this for the
+``core`` package.  The helper has two personalities:
+
+* **Fault-free runtime** (no heartbeat, no reply timeout): a strict
+  passthrough — one bare ``yield`` of the event, zero extra sim events —
+  so runs without a fault plan stay byte-identical in virtual time.
+* **Fault-aware runtime**: the wait races the event against the
+  runtime's link-state signal and an optional deadline.  A dead link
+  turns the wait into a typed
+  :class:`~repro.core.errors.PeerUnreachableError` (directly, via a
+  failed event, or via a caller-supplied ``doomed`` predicate) instead
+  of hanging the simulation forever.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from ..sim import Event
+from .errors import PeerUnreachableError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import ShmemRuntime
+
+__all__ = ["remote_wait"]
+
+
+def remote_wait(rt: "ShmemRuntime", event: Event, *, what: str,
+                doomed: Optional[Callable[[], Optional[BaseException]]] = None,
+                timeout_us: Optional[float] = None) -> Generator:
+    """Wait for ``event``, bounded by link death and an optional deadline.
+
+    Parameters
+    ----------
+    rt:
+        The runtime whose link-state signal guards the wait.
+    event:
+        The completion event.  If a link-death handler *fails* it (the
+        pending-table path), the failure propagates out of this wait.
+    what:
+        Human-readable operation label for error messages.
+    doomed:
+        Optional predicate re-checked after every link-state change;
+        return an exception to abort the wait (e.g. "my barrier path now
+        crosses a dead edge"), or ``None`` to keep waiting.
+    timeout_us:
+        Deadline relative to entry; defaults to the runtime's
+        ``reply_timeout_us`` (``None`` disables the deadline).
+
+    Returns the event's value; raises :class:`PeerUnreachableError` on
+    deadline expiry or a ``doomed`` verdict.
+    """
+    if not rt.fault_aware:
+        value = yield event
+        return value
+    env = rt.env
+    if timeout_us is None:
+        timeout_us = rt.config.reply_timeout_us
+    deadline = None if timeout_us is None else env.now + timeout_us
+    while True:
+        waits = [event, rt.link_state_changed.wait()]
+        timer = None
+        if deadline is not None:
+            timer = env.timeout(max(0.0, deadline - env.now))
+            waits.append(timer)
+        outcome = yield env.any_of(waits)
+        if event in outcome:
+            return outcome[event]
+        if timer is not None and timer in outcome:
+            raise PeerUnreachableError(
+                f"{rt.name}: {what} timed out after {timeout_us} µs "
+                f"(lost response? dead link?)"
+            )
+        # A link changed state while we waited: the caller decides
+        # whether this wait can still complete.
+        if doomed is not None:
+            exc = doomed()
+            if exc is not None:
+                raise exc

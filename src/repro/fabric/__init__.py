@@ -1,7 +1,7 @@
 """Switchless fabric: topology math and the cluster builder."""
 
 from .cluster import Cluster, ClusterConfig
-from .heartbeat import HeartbeatMonitor, LinkState
+from .heartbeat import HeartbeatConfig, HeartbeatMonitor, LinkState
 from .topology import (
     ChainTopology,
     Direction,
@@ -13,6 +13,7 @@ from .topology import (
 )
 
 __all__ = [
+    "HeartbeatConfig",
     "HeartbeatMonitor",
     "LinkState",
     "Cluster",

@@ -9,21 +9,30 @@ peer's register.  A severed cable makes the peer's register read as
 all-ones (master abort) or simply stop advancing; after
 ``miss_threshold`` silent periods the monitor declares the link dead.
 
-This service predates (and is independent of) the OpenSHMEM runtime — use
-it on a bare :class:`~repro.fabric.Cluster`.  It deliberately uses the
-last register of each direction's ScratchPad block, which the OpenSHMEM
-mailboxes also use, so the two must not share a link.
+The monitor owns the *link-management* ScratchPad bank (registers
+``LINK_MGMT_SPAD_BASE``..): it never touches the first bank the OpenSHMEM
+mailboxes use, so it can run alongside the runtime on the same cable.
+:class:`~repro.core.ShmemRuntime` wires one monitor per adapter as its
+failure detector when a :class:`HeartbeatConfig` (or a fault plan) is
+configured; it also still works stand-alone on a bare
+:class:`~repro.fabric.Cluster`.
 """
 
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Generator, Optional
 
-from ..ntb import NtbDriver
-from ..sim import Environment, Signal
+from ..ntb import LINK_MGMT_SPAD_BASE, NtbDriver
+from ..sim import Environment, Interrupt, Signal
 
-__all__ = ["LinkState", "HeartbeatMonitor", "HEARTBEAT_MAGIC"]
+__all__ = [
+    "LinkState",
+    "HeartbeatConfig",
+    "HeartbeatMonitor",
+    "HEARTBEAT_MAGIC",
+]
 
 #: Heartbeat values carry a magic nibble so garbage (or the all-ones
 #: master-abort pattern) is never mistaken for a live counter.
@@ -37,11 +46,25 @@ class LinkState(enum.Enum):
     DEAD = "dead"
 
 
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Failure-detector knobs (see :class:`HeartbeatMonitor`)."""
+
+    period_us: float = 500.0
+    miss_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ValueError("heartbeat period must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("miss threshold must be >= 1")
+
+
 class HeartbeatMonitor:
     """One side's heartbeat agent for one NTB link.
 
     Both endpoints of a cable run one monitor each; writers use the
-    register index of their own direction block, watchers read the peer's.
+    register index of their own direction, watchers read the peer's.
 
     Parameters
     ----------
@@ -63,11 +86,13 @@ class HeartbeatMonitor:
         self.env: Environment = driver.host.env
         self.period_us = period_us
         self.miss_threshold = miss_threshold
-        # Registers: last reg of each direction's 4-register block.
-        out_block = 0 if driver.side == "right" else 4
-        in_block = 0 if driver.side == "left" else 4
-        self._tx_reg = out_block + 3
-        self._rx_reg = in_block + 3
+        # Registers: the link-management bank, one register per direction
+        # (right writer owns the first, left writer the second).  Disjoint
+        # from the mailbox bank, so the runtime can share the cable.
+        tx_offset = 0 if driver.side == "right" else 1
+        rx_offset = 1 if driver.side == "right" else 0
+        self._tx_reg = LINK_MGMT_SPAD_BASE + tx_offset
+        self._rx_reg = LINK_MGMT_SPAD_BASE + rx_offset
         self.state = LinkState.UNKNOWN
         self.state_changed = Signal(self.env,
                                     name=f"{driver.name}.hb.state")
@@ -80,13 +105,33 @@ class HeartbeatMonitor:
 
     # -- control -----------------------------------------------------------
     def start(self) -> None:
-        if self._process is None:
-            self._process = self.env.process(
-                self._run(), name=f"{self.driver.name}.heartbeat"
-            )
+        """Launch (or relaunch after :meth:`stop`) the beat process."""
+        if self._process is not None:
+            return
+        self._stop = False
+        self._process = self.env.process(
+            self._run(), name=f"{self.driver.name}.heartbeat"
+        )
 
     def stop(self) -> None:
+        """Halt the agent *now*: no final beat is written.
+
+        Safe to call from any context (including outside a process or
+        after the agent already exited); the monitor can be restarted
+        with :meth:`start` afterwards.
+        """
         self._stop = True
+        process, self._process = self._process, None
+        if process is not None and process.is_alive:
+            if process._target is not None:
+                # Parked on its period timer (or an MMIO cost): yank it.
+                process.interrupt("heartbeat stopped")
+            # else: the process is the caller itself; the _stop flag makes
+            # its loop exit before the next beat.
+
+    @property
+    def is_running(self) -> bool:
+        return self._process is not None and self._process.is_alive
 
     def wait_state_change(self):
         """Event firing at the next ALIVE<->DEAD transition."""
@@ -95,15 +140,20 @@ class HeartbeatMonitor:
     # -- the agent -----------------------------------------------------------
     def _run(self) -> Generator:
         counter = 0
-        while not self._stop:
-            counter = (counter + 1) & _COUNTER_MASK
-            yield from self.driver.spad_write(
-                self._tx_reg, HEARTBEAT_MAGIC | counter
-            )
-            self.beats_sent += 1
-            value = yield from self.driver.spad_read(self._rx_reg)
-            self._evaluate(value)
-            yield self.env.timeout(self.period_us)
+        try:
+            while not self._stop:
+                counter = (counter + 1) & _COUNTER_MASK
+                yield from self.driver.spad_write(
+                    self._tx_reg, HEARTBEAT_MAGIC | counter
+                )
+                self.beats_sent += 1
+                value = yield from self.driver.spad_read(self._rx_reg)
+                self._evaluate(value)
+                if self._stop:
+                    return
+                yield self.env.timeout(self.period_us)
+        except Interrupt:
+            return  # stop() tore us down mid-sleep; exit without a beat
 
     def _evaluate(self, value: int) -> None:
         valid = (value & 0xF0000000) == HEARTBEAT_MAGIC

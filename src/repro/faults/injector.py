@@ -1,0 +1,98 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to a live cluster.
+
+The injector turns pure plan data into scheduled virtual-time actions:
+each event becomes one ``env.timeout`` whose callback flips the hardware
+state — severing/restoring a :class:`~repro.pcie.DuplexLink`, arming a
+doorbell-drop counter on an endpoint, or opening/closing a TLP delay
+window on a cable's links.  The callbacks are zero-time register pokes
+(no processes), so an *empty* plan installs nothing and perturbs nothing:
+no-fault runs stay byte-identical in virtual time.
+
+One injector per cluster (the runtime enforces a cluster singleton, like
+ShmemSan); ``install()`` is idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Environment
+from .plan import (
+    DelayTlp,
+    DropDoorbell,
+    FaultEvent,
+    FaultPlan,
+    RestoreCable,
+    SeverCable,
+    validate_for_ring,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fabric.cluster import Cluster
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a fault plan against a cluster's cables and adapters."""
+
+    def __init__(self, cluster: "Cluster", plan: Optional[FaultPlan] = None):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.plan = plan or FaultPlan()
+        validate_for_ring(self.plan, cluster.n_hosts)
+        #: (virtual time, event) pairs in application order, for tests
+        #: and post-run reporting.
+        self.applied: list[tuple[float, FaultEvent]] = []
+        self._installed = False
+
+    def install(self) -> None:
+        """Schedule every plan event at its virtual activation time."""
+        if self._installed or not self.plan:
+            self._installed = True
+            return
+        for event in self.plan.sorted_events():
+            delay = event.at_us - self.env.now
+            if delay < 0:
+                raise ValueError(
+                    f"{event!r} is in the past (now={self.env.now})"
+                )
+            timeout = self.env.timeout(delay)
+            timeout.callbacks.append(
+                lambda _evt, ev=event: self._apply(ev)
+            )
+        self._installed = True
+
+    # -- event application (zero-time callbacks) ---------------------------
+    def _apply(self, event: FaultEvent) -> None:
+        if isinstance(event, SeverCable):
+            self.cluster.cable_between(event.host_a, event.host_b).sever()
+        elif isinstance(event, RestoreCable):
+            self.cluster.cable_between(event.host_a, event.host_b).restore()
+        elif isinstance(event, DropDoorbell):
+            endpoint = self.cluster.driver(event.host, event.side).endpoint
+            endpoint.fault_drop_doorbells += event.count
+        elif isinstance(event, DelayTlp):
+            cable = self.cluster.cable_between(event.host_a, event.host_b)
+            for link in (cable.a_to_b, cable.b_to_a):
+                link.fault_extra_delay_us += event.extra_us
+            close = self.env.timeout(event.until_us - event.at_us)
+            close.callbacks.append(
+                lambda _evt, c=cable, x=event.extra_us: self._close_delay(c, x)
+            )
+        else:  # pragma: no cover - plan validation makes this unreachable
+            raise TypeError(f"unknown fault event {event!r}")
+        self.applied.append((self.env.now, event))
+
+    @staticmethod
+    def _close_delay(cable, extra_us: float) -> None:
+        for link in (cable.a_to_b, cable.b_to_a):
+            link.fault_extra_delay_us = max(
+                0.0, link.fault_extra_delay_us - extra_us
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultInjector events={len(self.plan)} "
+            f"applied={len(self.applied)}>"
+        )

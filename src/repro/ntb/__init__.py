@@ -11,11 +11,17 @@ from .device import (
     PLX_VENDOR_ID,
     connect_endpoints,
 )
-from .dma import DmaConfig, DmaDirection, DmaEngine, DmaRequest
+from .dma import DmaConfig, DmaDirection, DmaEngine, DmaRequest, LinkDownError
 from .doorbell import DOORBELL_BITS, DoorbellError, DoorbellRegister
 from .driver import DriverError, NtbDriver
 from .lut import LookupTable, LutError
-from .scratchpad import NUM_SCRATCHPADS, ScratchpadError, ScratchpadFile
+from .scratchpad import (
+    LINK_MGMT_SPAD_BASE,
+    NUM_SCRATCHPADS,
+    TOTAL_SCRATCHPADS,
+    ScratchpadError,
+    ScratchpadFile,
+)
 
 __all__ = [
     "IncomingTranslation",
@@ -33,6 +39,7 @@ __all__ = [
     "DmaDirection",
     "DmaEngine",
     "DmaRequest",
+    "LinkDownError",
     "DOORBELL_BITS",
     "DoorbellError",
     "DoorbellRegister",
@@ -40,7 +47,9 @@ __all__ = [
     "NtbDriver",
     "LookupTable",
     "LutError",
+    "LINK_MGMT_SPAD_BASE",
     "NUM_SCRATCHPADS",
+    "TOTAL_SCRATCHPADS",
     "ScratchpadError",
     "ScratchpadFile",
 ]

@@ -40,7 +40,7 @@ from .bar import IncomingTranslation, OutgoingWindow, WindowError
 from .dma import DmaConfig, DmaDirection, DmaEngine, DmaRequest
 from .doorbell import DoorbellRegister
 from .lut import LookupTable, LutError
-from .scratchpad import ScratchpadFile
+from .scratchpad import TOTAL_SCRATCHPADS, ScratchpadFile
 
 __all__ = ["NtbPortConfig", "NtbEndpoint", "connect_endpoints", "NtbError"]
 
@@ -111,6 +111,12 @@ class NtbEndpoint:
             IncomingTranslation(i) for i in range(len(self.config.window_sizes))
         ]
         self.doorbell = DoorbellRegister(env, name=f"{name}.db")
+        #: Fault-injection hook: number of upcoming outbound doorbell
+        #: rings to swallow (the MMIO write is charged, the peer latch
+        #: never fires).  0 means the hook is inert.
+        self.fault_drop_doorbells = 0
+        #: rings actually swallowed (accounting for tests/reports)
+        self.dropped_doorbells = 0
         self.lut = LookupTable(name=f"{name}.lut")
         self.dma = DmaEngine(env, self.config.dma, name=f"{name}.dma",
                              tracer=tracer)
@@ -239,6 +245,11 @@ class NtbEndpoint:
         yield from self.link_out.transfer(8)
         if self.link_down:
             return  # the ring was dropped on the floor
+        if self.fault_drop_doorbells > 0:
+            # Injected single-TLP loss: the write vanished in the fabric.
+            self.fault_drop_doorbells -= 1
+            self.dropped_doorbells += 1
+            return
         peer.doorbell.latch(bit)
         if self.tracer is not None:
             self.tracer.count(f"{self.name}.doorbell_rings")
@@ -293,7 +304,10 @@ def connect_endpoints(a: NtbEndpoint, b: NtbEndpoint,
     env = a.env
     cable = DuplexLink(env, link_config or LinkConfig(),
                        name=f"{a.name}<->{b.name}", tracer=tracer)
-    spad = ScratchpadFile(env, name=f"{a.name}|{b.name}.spad")
+    # Both banks: 0..7 data/mailbox (paper §II-A), 8..15 link management
+    # (heartbeat) — so the watchdog never collides with the mailboxes.
+    spad = ScratchpadFile(env, name=f"{a.name}|{b.name}.spad",
+                          count=TOTAL_SCRATCHPADS)
 
     a.peer, b.peer = b, a
     a.spad = b.spad = spad

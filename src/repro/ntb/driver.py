@@ -30,6 +30,7 @@ from ..pcie.config import (
     REG_VENDOR_ID,
 )
 from .device import NtbEndpoint
+from .dma import LinkDownError
 from .doorbell import DOORBELL_BITS
 
 __all__ = ["NtbDriver", "DriverError"]
@@ -206,7 +207,14 @@ class NtbDriver:
     # -- PIO (the paper's "memcpy" path) ---------------------------------------------
     def pio_window_write(self, window_index: int, offset: int,
                          data: bytes | np.ndarray) -> Generator:
-        """CPU store loop into the outgoing window (write-combined rate)."""
+        """CPU store loop into the outgoing window (write-combined rate).
+
+        Raises :class:`~repro.ntb.dma.LinkDownError` when the cable is
+        severed: the stores themselves are posted (silently dropped at the
+        endpoint), but a real driver's write loop is fenced by a readback
+        that master-aborts, so the copy as a whole fails loudly — matching
+        the DMA path's error surface.
+        """
         buf = np.frombuffer(memoryview(data), dtype=np.uint8) \
             if not isinstance(data, np.ndarray) else data.view(np.uint8).reshape(-1)
         chunk = self.host.cost_model.pio_chunk
@@ -214,6 +222,11 @@ class NtbDriver:
                              direction="write", nbytes=int(buf.size)):
             cursor = 0
             while cursor < buf.size:
+                if self.endpoint.link_down:
+                    raise LinkDownError(
+                        f"{self.name}: PIO write master-aborted at byte "
+                        f"{cursor}/{buf.size} (cable severed)"
+                    )
                 take = min(chunk, buf.size - cursor)
                 yield from self.host.cpu.pio_write(take)
                 self.endpoint.window_write_functional(
@@ -223,13 +236,24 @@ class NtbDriver:
 
     def pio_window_read(self, window_index: int, offset: int,
                         nbytes: int) -> Generator:
-        """CPU load loop from the window (uncached read rate — slow)."""
+        """CPU load loop from the window (uncached read rate — slow).
+
+        Reads across a severed cable complete with all-ones at the
+        endpoint (master abort); the driver detects the signature and
+        raises :class:`~repro.ntb.dma.LinkDownError` instead of handing
+        garbage to the caller.
+        """
         out = np.empty(nbytes, dtype=np.uint8)
         chunk = self.host.cost_model.pio_chunk
         with self.scope.span("pio_copy", category="driver", track=self.name,
                              direction="read", nbytes=nbytes):
             cursor = 0
             while cursor < nbytes:
+                if self.endpoint.link_down:
+                    raise LinkDownError(
+                        f"{self.name}: PIO read master-aborted at byte "
+                        f"{cursor}/{nbytes} (cable severed)"
+                    )
                 take = min(chunk, nbytes - cursor)
                 yield from self.host.cpu.pio_read(take)
                 out[cursor:cursor + take] = \

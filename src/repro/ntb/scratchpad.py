@@ -16,9 +16,22 @@ from __future__ import annotations
 
 from ..sim import Environment, Signal
 
-__all__ = ["ScratchpadError", "ScratchpadFile"]
+__all__ = [
+    "ScratchpadError",
+    "ScratchpadFile",
+    "NUM_SCRATCHPADS",
+    "LINK_MGMT_SPAD_BASE",
+    "TOTAL_SCRATCHPADS",
+]
 
 NUM_SCRATCHPADS = 8
+
+#: PEX87xx parts expose a second bank of eight link-management scratchpads
+#: beyond the first data bank.  The OpenSHMEM mailboxes own registers
+#: 0..7; the heartbeat/link-watchdog machinery owns 8..15, so the two can
+#: share a cable without colliding.
+LINK_MGMT_SPAD_BASE = NUM_SCRATCHPADS
+TOTAL_SCRATCHPADS = 2 * NUM_SCRATCHPADS
 
 
 class ScratchpadError(Exception):

@@ -127,6 +127,10 @@ class Link:
         #: Severed-cable flag: a down link silently drops posted traffic
         #: (PCIe master-abort semantics); see :meth:`sever`.
         self.down = False
+        #: Fault-injection hook: extra per-transfer flight time (µs) while
+        #: a :class:`~repro.faults.DelayTlp` window is open.  0.0 (the
+        #: default) adds no events, keeping fault-free runs byte-identical.
+        self.fault_extra_delay_us = 0.0
         #: lifetime payload bytes carried (utilization accounting)
         self.payload_bytes = 0
         self.busy_time_us = 0.0
@@ -142,6 +146,8 @@ class Link:
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
+        if self.fault_extra_delay_us:
+            yield self.env.timeout(self.fault_extra_delay_us)
         if self.down:
             # Posted traffic into a severed cable is silently dropped
             # after local serialization (the TX side can't tell).

@@ -131,6 +131,50 @@ def test_augassign_register_mutation_flagged(tmp_path):
     assert [issue.rule for issue in lint_file(path)] == ["register-mutation"]
 
 
+# --------------------------------------------------------- rule: bounded-wait
+def test_direct_wait_yield_in_core_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "def proc(rt):\n    value = yield rt.heap_updated.wait()\n",
+    )
+    assert [issue.rule for issue in lint_file(path)] == ["bounded-wait"]
+
+
+def test_remote_wait_helper_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/good.py",
+        "from .waits import remote_wait\n"
+        "def proc(rt, event):\n"
+        "    value = yield from remote_wait(rt, event, what='x')\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_waits_module_itself_exempt(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/waits.py",
+        "def remote_wait(rt, signal):\n    yield signal.wait()\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_wait_yield_outside_core_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/fabric/fine.py",
+        "def proc(signal):\n    yield signal.wait()\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_local_rendezvous_suppressed_with_marker(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/ok.py",
+        "def proc(latch):\n"
+        "    yield latch.wait()  # local rendezvous  # lint: skip\n",
+    )
+    assert lint_file(path) == []
+
+
 # ------------------------------------------------------ rule: span-discipline
 def test_raw_span_open_flagged_outside_obsv(tmp_path):
     path = _write(

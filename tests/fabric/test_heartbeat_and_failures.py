@@ -170,3 +170,74 @@ class TestHeartbeat:
             HeartbeatMonitor(driver, period_us=0)
         with pytest.raises(ValueError):
             HeartbeatMonitor(driver, miss_threshold=0)
+
+
+class TestHeartbeatStopRestart:
+    """Regression: stop() must halt the agent promptly (it used to let the
+    process write one final beat per pending period timer), and start()
+    must be able to relaunch a stopped monitor."""
+
+    def _pair(self, ring3):
+        return (
+            HeartbeatMonitor(ring3.driver(0, Direction.RIGHT),
+                             period_us=500.0, miss_threshold=3),
+            HeartbeatMonitor(ring3.driver(1, Direction.LEFT),
+                             period_us=500.0, miss_threshold=3),
+        )
+
+    def test_stop_is_prompt(self, ring3):
+        mon_a, mon_b = self._pair(ring3)
+        mon_a.start()
+        mon_b.start()
+        ring3.env.run(until=2_000.0)
+        sent_at_stop = mon_a.beats_sent
+        mon_a.stop()
+        ring3.env.run(until=10_000.0)
+        # Not a single further beat after stop(), and the process is gone.
+        assert mon_a.beats_sent == sent_at_stop
+        assert not mon_a.is_running
+
+    def test_stop_from_inside_a_process(self, ring3):
+        """stop() issued by a simulation process (the runtime's finalize
+        path) must not blow up when the target is parked on its timer."""
+        mon_a, mon_b = self._pair(ring3)
+        mon_a.start()
+        mon_b.start()
+
+        def stopper():
+            yield ring3.env.timeout(1_750.0)
+            mon_a.stop()
+            mon_b.stop()
+
+        ring3.env.process(stopper())
+        ring3.env.run(until=20_000.0)
+        assert not mon_a.is_running
+        assert not mon_b.is_running
+
+    def test_restart_after_stop_detects_again(self, ring3):
+        mon_a, mon_b = self._pair(ring3)
+        mon_a.start()
+        mon_b.start()
+        ring3.env.run(until=2_000.0)
+        mon_a.stop()
+        assert not mon_a.is_running
+        # Relaunch: the agent must beat and still detect a sever.
+        mon_a.start()
+        assert mon_a.is_running
+        ring3.env.run(until=4_000.0)
+        assert mon_a.state is LinkState.ALIVE
+        ring3.cable_between(0, 1).sever()
+        ring3.env.run(until=9_000.0)
+        assert mon_a.state is LinkState.DEAD
+
+    def test_double_start_is_idempotent(self, ring3):
+        mon_a, mon_b = self._pair(ring3)
+        mon_a.start()
+        first = mon_a._process
+        mon_a.start()
+        assert mon_a._process is first
+
+    def test_stop_never_started_is_noop(self, ring3):
+        mon_a, _mon_b = self._pair(ring3)
+        mon_a.stop()
+        assert not mon_a.is_running
