@@ -10,6 +10,7 @@ Usage::
     python examples/quickstart.py
     python examples/quickstart.py --trace trace.json   # span-traced run
     python examples/quickstart.py --sever              # cut a cable mid-run
+    python examples/quickstart.py --fastpath           # optimized data plane
 """
 
 from __future__ import annotations
@@ -87,8 +88,19 @@ if __name__ == "__main__":
                              "mid-run: the heartbeat detector marks the "
                              "edge DEAD, traffic re-routes the long way "
                              "around, and every assert still holds")
+    parser.add_argument("--fastpath", action="store_true",
+                        help="opt into the optimized data plane (interrupt "
+                             "coalescing, chained DMA, cut-through "
+                             "forwarding, inline small messages); the "
+                             "default run stays paper-faithful — see "
+                             "docs/FASTPATH.md")
     args = parser.parse_args()
 
+    fastpath = None
+    if args.fastpath:
+        from repro.core.fastpath import FastpathConfig
+
+        fastpath = FastpathConfig()
     config = None
     if args.sever:
         from repro.faults import FaultPlan
@@ -96,13 +108,15 @@ if __name__ == "__main__":
         config = ShmemConfig(
             faults=FaultPlan.single_sever(1, 2, at_us=800.0),
             max_retries=8, retry_backoff_us=200.0,
-            trace_spans=bool(args.trace),
+            trace_spans=bool(args.trace), fastpath=fastpath,
         )
-    elif args.trace:
-        config = ShmemConfig(trace_spans=True)
+    elif args.trace or args.fastpath:
+        config = ShmemConfig(trace_spans=bool(args.trace),
+                             fastpath=fastpath)
     report = run_spmd(main, n_pes=3, shmem_config=config)
+    plane = "fastpath" if args.fastpath else "paper-faithful"
     print(f"simulated {report.elapsed_us / 1000:.2f} virtual ms "
-          f"on a 3-host PCIe NTB ring\n")
+          f"on a 3-host PCIe NTB ring ({plane} data plane)\n")
     for result in report.results:
         print(f"  PE {result['pe']}: left sent {result['left_block_head']}, "
               f"got head {result['fetched_head']} from 2 hops away, "

@@ -19,7 +19,6 @@ import json
 import sys
 import time
 
-from .harness import run_all
 from .reporting import render_percentiles, render_table
 
 
@@ -74,7 +73,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chaos-seed", type=int, default=42,
                         metavar="N",
                         help="seed for the chaos fault plan (default 42)")
+    parser.add_argument("--compare-fastpath", action="store_true",
+                        help="baseline-vs-fastpath grid (Put/Get latency "
+                             "and throughput at 4KB/64KB/512KB x 1/2 hops, "
+                             "inline 32B, barrier); writes BENCH_PR5.json "
+                             "unless --check is given")
+    parser.add_argument("--out", metavar="PATH", default="BENCH_PR5.json",
+                        help="output path for --compare-fastpath "
+                             "(default: BENCH_PR5.json)")
+    parser.add_argument("--check", metavar="PATH",
+                        help="with --compare-fastpath: gate against a "
+                             "checked-in reference instead of writing; "
+                             "fails on any fastpath virtual-time metric "
+                             "regressing beyond the recorded tolerance")
     args = parser.parse_args(argv)
+
+    if args.compare_fastpath:
+        from .experiments.fastpath import check_against, \
+            run_fastpath_compare
+
+        t0 = time.perf_counter()
+        result = run_fastpath_compare()
+        print(result.render())
+        print(f"\nwall time: {time.perf_counter() - t0:.1f}s; "
+              "latencies/throughputs are virtual-time measurements")
+        if args.check:
+            check = check_against(result, args.check)
+            print(check.render())
+            return 0 if check.ok and result.targets_pass else 1
+        result.write(args.out)
+        print(f"wrote {args.out}")
+        return 0 if result.targets_pass else 1
 
     if args.chaos:
         from .experiments.chaos import run_chaos_demo
@@ -108,6 +137,8 @@ def main(argv: list[str] | None = None) -> int:
                 rows, "fig9 latency percentiles (traced)"))
         report = None
     else:
+        from .harness import run_all
+
         report = run_all(quick=not args.full,
                          trace=args.trace is not None)
         rows = report.rows

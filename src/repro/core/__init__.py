@@ -7,14 +7,6 @@ from .barrier import (
     DisseminationBarrier,
     RingBarrier,
 )
-from .collectives import (
-    REDUCE_OPS,
-    alltoall,
-    broadcast,
-    collect,
-    fcollect,
-    reduce,
-)
 from .errors import (
     BadPeError,
     NotInitializedError,
@@ -29,10 +21,36 @@ from .heap import HeapConfig, SymAddr, SymmetricHeap
 from .locks import clear_lock, set_lock, test_lock
 from .program import SpmdReport, make_cluster, run_spmd
 from .runtime import AmoOp, ShmemConfig, ShmemRuntime
-from .sanitizer import RaceReport, ShmemSan, render_race_table
 from .service import ShmemService
 from .transfer import Message, Mode, MsgKind
 from .waits import remote_wait
+
+#: Deferred (PEP 562): the race sanitizer and the collective algorithms
+#: are sizeable modules that the default runtime bring-up never touches —
+#: loading them lazily keeps short CLI runs (the smoke bench) lean.
+_LAZY_SUBMODULE = {
+    "FastpathConfig": "fastpath",
+    "RaceReport": "sanitizer",
+    "ShmemSan": "sanitizer",
+    "render_race_table": "sanitizer",
+    "REDUCE_OPS": "collectives",
+    "alltoall": "collectives",
+    "broadcast": "collectives",
+    "collect": "collectives",
+    "fcollect": "collectives",
+    "reduce": "collectives",
+}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY_SUBMODULE.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{submodule}", __name__), name)
+    globals()[name] = value
+    return value
 
 __all__ = [
     "PE",
@@ -65,6 +83,7 @@ __all__ = [
     "make_cluster",
     "run_spmd",
     "AmoOp",
+    "FastpathConfig",
     "ShmemConfig",
     "ShmemRuntime",
     "RaceReport",

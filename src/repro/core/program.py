@@ -16,14 +16,16 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from ..fabric import Cluster, ClusterConfig
 from ..sim import AllOf, CountdownLatch, Environment, Tracer
 from .api import PE
 from .errors import ShmemError
 from .runtime import ShmemConfig, ShmemRuntime
-from .sanitizer import RaceReport, ShmemSan
+
+if TYPE_CHECKING:  # sanitizer loads lazily (see repro.core.__getattr__)
+    from .sanitizer import RaceReport, ShmemSan  # noqa: F401
 
 __all__ = ["SpmdReport", "run_spmd", "make_cluster"]
 

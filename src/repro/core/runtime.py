@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
@@ -34,7 +34,9 @@ from ..fabric import (
     Route,
     RoutingPolicy,
 )
-from ..faults import FaultInjector, FaultPlan
+if TYPE_CHECKING:  # faults loads lazily: only runs configured with a plan
+    from ..faults import FaultInjector, FaultPlan  # noqa: F401
+    from .fastpath import FastpathConfig  # noqa: F401  (opt-in module)
 from ..host import Host, PinnedBuffer
 from ..ntb import LinkDownError, NtbDriver
 from ..ntb.device import BYPASS_WINDOW, DATA_WINDOW
@@ -60,6 +62,7 @@ from .transfer import (
     DOORBELL_BYPASS_MSG,
     DOORBELL_DMAGET,
     DOORBELL_DMAPUT,
+    FLAG_INLINE,
     Message,
     Mode,
     MsgKind,
@@ -159,6 +162,11 @@ class ShmemConfig:
     #: Init-handshake patience: a missing neighbor raises instead of
     #: polling ScratchPads forever.
     handshake_timeout_us: float = 1_000_000.0
+    #: Opt-in optimized data plane (repro.core.fastpath): interrupt
+    #: coalescing, chained-descriptor DMA, cut-through forwarding and
+    #: inline small messages.  None (the default) keeps the runtime
+    #: byte-identical in virtual time to the paper-faithful stack.
+    fastpath: Optional[FastpathConfig] = None
 
     def __post_init__(self) -> None:
         if self.rx_data_size < 4096:
@@ -184,6 +192,14 @@ class ShmemConfig:
             raise ValueError("retry_backoff_us must be >= 0")
         if self.handshake_timeout_us <= 0:
             raise ValueError("handshake_timeout_us must be positive")
+        if self.fastpath is not None:
+            from .fastpath import FastpathConfig  # deferred: opt-in only
+
+            if not isinstance(self.fastpath, FastpathConfig):
+                raise ValueError(
+                    f"fastpath must be a FastpathConfig or None, "
+                    f"got {type(self.fastpath).__name__}"
+                )
 
 
 @dataclass
@@ -326,6 +342,8 @@ class ShmemRuntime:
             # with a plan installs it for everyone.
             injector = getattr(cluster, "fault_injector", None)
             if injector is None:
+                from ..faults import FaultInjector  # deferred: plans only
+
                 injector = FaultInjector(cluster, self.config.faults)
                 injector.install()
                 cluster.fault_injector = injector
@@ -364,9 +382,14 @@ class ShmemRuntime:
         for link in self.links.values():
             yield from self._await_ready(link)
         # Step 2: interrupt structure; Step 4: service thread.
-        from .service import ShmemService  # local import avoids cycle
+        if self.config.fastpath is not None:
+            from .fastpath import CoalescingService  # deferred: opt-in
 
-        self.service = ShmemService(self)
+            self.service = CoalescingService(self)
+        else:
+            from .service import ShmemService  # local import avoids cycle
+
+            self.service = ShmemService(self)
         self._register_irqs()
         # Barrier strategy.
         from .barrier import make_barrier  # local import avoids cycle
@@ -385,18 +408,37 @@ class ShmemRuntime:
             else SPAD_BLOCK_LEFTWARD
         in_block = SPAD_BLOCK_RIGHTWARD if side == "left" \
             else SPAD_BLOCK_LEFTWARD
-        bypass_mailbox = BypassMailbox(
-            self.env, driver, slot_payload=cfg.fwd_chunk,
-            slots=cfg.bypass_slots, name=f"{self.name}.{side}.bypass",
-        )
+        fp = cfg.fastpath
+        if fp is not None:
+            # Deferred import: the paper-faithful stack never loads the
+            # fastpath module (keeps the default byte-identical and the
+            # dependency one-directional).
+            from .fastpath import FastBypassMailbox, FastDataMailbox
+
+            slots = fp.credit_slots if fp.cut_through else cfg.bypass_slots
+            data_mailbox = FastDataMailbox(
+                self.env, driver, spad_block=out_block,
+                name=f"{self.name}.{side}.data", fastpath=fp,
+                staging_bytes=cfg.rx_data_size,
+            )
+            bypass_mailbox = FastBypassMailbox(
+                self.env, driver, slot_payload=cfg.fwd_chunk,
+                slots=slots, name=f"{self.name}.{side}.bypass", fastpath=fp,
+            )
+        else:
+            data_mailbox = DataMailbox(
+                self.env, driver, spad_block=out_block,
+                name=f"{self.name}.{side}.data",
+            )
+            bypass_mailbox = BypassMailbox(
+                self.env, driver, slot_payload=cfg.fwd_chunk,
+                slots=cfg.bypass_slots, name=f"{self.name}.{side}.bypass",
+            )
         rx_bypass = self.host.alloc_pinned(bypass_mailbox.window_bytes_needed)
         self.links[side] = LinkEnd(
             side=side,
             driver=driver,
-            data_mailbox=DataMailbox(
-                self.env, driver, spad_block=out_block,
-                name=f"{self.name}.{side}.data",
-            ),
+            data_mailbox=data_mailbox,
             bypass_mailbox=bypass_mailbox,
             rx_data=rx_data,
             rx_bypass=rx_bypass,
@@ -506,6 +548,11 @@ class ShmemRuntime:
                 self.host.interrupts.unregister(base + bit)
             self.host.free_pinned(link.rx_data)
             self.host.free_pinned(link.rx_bypass)
+            # Fastpath mailboxes own pinned TX staging buffers.
+            for mailbox in (link.data_mailbox, link.bypass_mailbox):
+                close = getattr(mailbox, "close", None)
+                if close is not None:
+                    close()
         if self._amo_tx is not None:
             self.host.free_pinned(self._amo_tx)
             self._amo_tx = None
@@ -739,13 +786,17 @@ class ShmemRuntime:
 
     # ------------------------------------------------------------------- put
     def put(self, dest: SymAddr, src_virt: int, nbytes: int, pe: int,
-            mode: Optional[Mode] = None) -> Generator:
+            mode: Optional[Mode] = None, *,
+            allow_inline: bool = True) -> Generator:
         """One-sided Put: locally blocking (§II-B), returns once the local
         buffer is reusable.  ``src_virt`` is a local user virtual address.
 
         Neighbor destinations stream straight through the data window
         (Fig. 4 upper path); others are chunked into the next hop's bypass
-        window for store-and-forward (lower path).
+        window for store-and-forward (lower path).  Under fastpath, tiny
+        payloads ride inline in a bypass slot header unless
+        ``allow_inline=False`` (callers that need same-channel ordering
+        with a preceding data-window Put, e.g. ``put_signal``).
         """
         self._check_ready()
         self.check_pe(pe)
@@ -762,7 +813,8 @@ class ShmemRuntime:
                 if self.san is not None:
                     self.san.record_write(self.my_pe_id, pe, dest.offset,
                                           nbytes, "put", self.env.now)
-                yield from self._put_inner(dest, src_virt, nbytes, pe, mode)
+                yield from self._put_inner(dest, src_virt, nbytes, pe, mode,
+                                           allow_inline=allow_inline)
         finally:
             self.tracer.observe(f"{self.name}.put_us",
                                 self.env.now - op_start)
@@ -773,12 +825,18 @@ class ShmemRuntime:
             )
 
     def _put_inner(self, dest: SymAddr, src_virt: int, nbytes: int,
-                   pe: int, mode: Mode) -> Generator:
+                   pe: int, mode: Mode, *,
+                   allow_inline: bool = True) -> Generator:
         if pe == self.my_pe_id:
             # Local put: a plain memcpy into our own heap.
             yield from self.host.cpu.local_memcpy(nbytes)
             data = self.host.read_user(src_virt, nbytes)
             self.deliver_to_heap(dest.offset, data)
+            return
+        fp = self.config.fastpath
+        if (fp is not None and allow_inline and fp.inline_max > 0
+                and nbytes <= fp.inline_max):
+            yield from self._put_inline(dest, src_virt, nbytes, pe)
             return
         cursor = 0
         attempt = 0
@@ -821,6 +879,42 @@ class ShmemRuntime:
                 continue
             cursor += chunk_size
             attempt = 0
+
+    def _put_inline(self, dest: SymAddr, src_virt: int, nbytes: int,
+                    pe: int) -> Generator:
+        """Fastpath small Put: payload inside a bypass slot header.
+
+        One PIO store publishes header and payload together — no window
+        write, no DMA setup/descriptor/completion, no ScratchPad walk.
+        Flow control (slot held until the receiver's ACK) is unchanged, so
+        ``quiet()`` still covers inline traffic.
+        """
+        attempt = 0
+        while True:
+            route = self.route_to(pe)
+            link = self.link_for(route.direction)
+            mailbox = link.bypass_mailbox
+            kind = MsgKind.PUT_DATA if route.hops == 1 else MsgKind.PUT_FWD
+            msg = Message(
+                kind=kind, mode=Mode.MEMCPY,
+                src_pe=self.my_pe_id, dest_pe=pe,
+                offset=dest.offset, size=nbytes,
+                seq=mailbox.next_seq(), flags=FLAG_INLINE,
+            )
+            data = self.host.read_user(src_virt, nbytes)
+            try:
+                yield from mailbox.send_inline(msg, data)
+                return
+            except (LinkDownError, PeerUnreachableError) as exc:
+                if not self.fault_aware \
+                        or attempt >= self.config.max_retries:
+                    raise PeerUnreachableError(
+                        f"{self.name}: inline put to PE {pe} failed: {exc}"
+                    ) from exc
+                attempt += 1
+                self.retries += 1
+                yield self.env.timeout(
+                    self.config.retry_backoff_us * (2 ** (attempt - 1)))
 
     # ------------------------------------------------------------------- get
     def get(self, src: SymAddr, nbytes: int, pe: int, dest_virt: int,
@@ -867,9 +961,14 @@ class ShmemRuntime:
         # completing end-to-end before the next request is issued.  This
         # serialization across the whole path is what makes Get latency
         # proportional to hop count (Fig. 9(b)): every chunk pays the full
-        # request + response traversal of the ring.
-        for chunk_off, chunk_size in chunk_ranges(
-                nbytes, self.config.get_chunk):
+        # request + response traversal of the ring.  The fastpath's
+        # streaming Get sends a single request for the whole transfer —
+        # the owner's responder already streams get_chunk-sized pieces
+        # back-to-back, so the request round trip is paid once.
+        fp = self.config.fastpath
+        req_chunk = nbytes if (fp is not None and fp.streaming_get) \
+            else self.config.get_chunk
+        for chunk_off, chunk_size in chunk_ranges(nbytes, req_chunk):
             yield from self._get_chunk(src, pe, dest_virt, mode,
                                        chunk_off, chunk_size)
 
@@ -950,6 +1049,9 @@ class ShmemRuntime:
                 target.offset, op, value, compare
             )
             return old
+        fp = self.config.fastpath
+        inline = fp is not None and fp.inline_max >= struct.calcsize(
+            _AMO_REQ_FMT)
         attempt = 0
         while True:
             route = self.route_to(pe)
@@ -960,20 +1062,33 @@ class ShmemRuntime:
                                  direction=route.direction, hops=route.hops)
             self.pending_amos[req_id] = pending
             operand = struct.pack(_AMO_REQ_FMT, op, 0, value, compare)
-            assert self._amo_tx is not None
-            self.host.memory.write(self._amo_tx.phys, np.frombuffer(
-                operand, dtype=np.uint8))
-            msg = Message(
-                kind=MsgKind.AMO_REQ, mode=Mode.DMA,
-                src_pe=self.my_pe_id, dest_pe=pe,
-                offset=target.offset, size=len(operand), aux=req_id,
-                seq=link.data_mailbox.next_seq(),
-            )
-            payload = PayloadSource.from_pinned(
-                self.host, self._amo_tx, 0, len(operand)
-            )
             try:
-                yield from link.data_mailbox.send(msg, payload)
+                if inline:
+                    # Fastpath: the 24-byte operand rides inline in a
+                    # bypass slot header — one PIO store, no DMA.
+                    msg = Message(
+                        kind=MsgKind.AMO_REQ, mode=Mode.MEMCPY,
+                        src_pe=self.my_pe_id, dest_pe=pe,
+                        offset=target.offset, size=len(operand), aux=req_id,
+                        seq=link.bypass_mailbox.next_seq(),
+                        flags=FLAG_INLINE,
+                    )
+                    yield from link.bypass_mailbox.send_inline(
+                        msg, np.frombuffer(operand, dtype=np.uint8))
+                else:
+                    assert self._amo_tx is not None
+                    self.host.memory.write(self._amo_tx.phys, np.frombuffer(
+                        operand, dtype=np.uint8))
+                    msg = Message(
+                        kind=MsgKind.AMO_REQ, mode=Mode.DMA,
+                        src_pe=self.my_pe_id, dest_pe=pe,
+                        offset=target.offset, size=len(operand), aux=req_id,
+                        seq=link.data_mailbox.next_seq(),
+                    )
+                    payload = PayloadSource.from_pinned(
+                        self.host, self._amo_tx, 0, len(operand)
+                    )
+                    yield from link.data_mailbox.send(msg, payload)
             except (LinkDownError, PeerUnreachableError) as exc:
                 # The send failed before the doorbell rang, so the owner
                 # never saw the request: retrying cannot double-apply.
@@ -1038,13 +1153,18 @@ class ShmemRuntime:
 
         Delivery channels are in-order per direction, so the signal write
         lands after the data — the consumer pairs it with ``wait_until``.
+        Inlining is disabled for both puts: the data and the signal must
+        travel the *same* channel, or the signal (inline, bypass window)
+        could overtake the data (data window) and fire early.
         """
-        yield from self.put(dest, src_virt, nbytes, pe, mode)
+        yield from self.put(dest, src_virt, nbytes, pe, mode,
+                            allow_inline=False)
         raw = struct.pack("<q", signal_value)
         staging = self.host.mmap(4096)
         try:
             self.host.write_user(staging.virt, np.frombuffer(raw, np.uint8))
-            yield from self.put(signal, staging.virt, 8, pe, mode)
+            yield from self.put(signal, staging.virt, 8, pe, mode,
+                                allow_inline=False)
         finally:
             self.host.munmap(staging)
 
@@ -1087,9 +1207,7 @@ class ShmemRuntime:
         ``quiet`` is not enough).
         """
         assert self.service is not None
-        svc = self.service
-        while (svc.active_forwards or svc.active_responders
-               or svc._work or not svc.thread.is_sleeping):
+        while not self.service.quiescent:
             yield self.env.timeout(1.0)
 
     def barrier_all(self) -> Generator:

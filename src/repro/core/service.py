@@ -29,6 +29,8 @@ from ..ntb import LinkDownError
 from .errors import PeerUnreachableError, ProtocolError
 from .heap import SymAddr
 from .transfer import (
+    FLAG_INLINE,
+    INLINE_PAYLOAD_OFFSET,
     Message,
     Mode,
     MsgKind,
@@ -100,6 +102,9 @@ class ShmemService:
         self.active_responders = 0
         #: in-flight spawned forward/reply tasks (see _spawn_task).
         self.active_forwards = 0
+        #: in-flight deferred ACK tasks (always 0 on the baseline path;
+        #: the fastpath's cut-through forwarding defers slot ACKs).
+        self.active_acks = 0
         #: fault diagnostics: chunks dropped at a dead edge, responses
         #: abandoned mid-stream, straggler replies for retired requests.
         self.dropped_forwards = 0
@@ -118,10 +123,22 @@ class ShmemService:
                 and self.active_responders == 0
                 and self.active_forwards == 0)
 
+    @property
+    def quiescent(self) -> bool:
+        """No queued, in-flight, or deferred work anywhere in the service.
+
+        This is the condition :meth:`ShmemRuntime.forwarding_quiesce` polls;
+        subclasses widen it (a fastpath poll-idle thread counts as asleep).
+        """
+        return (not self._work and self.active_forwards == 0
+                and self.active_responders == 0
+                and self.active_acks == 0
+                and self.thread.is_sleeping)
+
     def stop(self) -> Generator:
         # Let in-flight forwards/responders drain before killing the thread.
         while (self.active_forwards or self.active_responders
-               or self._work):
+               or self.active_acks or self._work):
             yield self.env.timeout(1.0)
         self.thread.stop()
         yield self.thread.join()
@@ -133,18 +150,22 @@ class ShmemService:
             yield from thread.wait_work()
             if thread.stop_requested and not self._work:
                 return
-            while self._work:
-                side, kind = self._work.popleft()
-                self.handled[kind] = self.handled.get(kind, 0) + 1
-                if kind == "data":
-                    yield from self._handle_data(side)
-                elif kind == "bypass":
-                    yield from self._handle_bypass(side)
-                elif kind in ("barrier_start", "barrier_end"):
-                    assert self.rt.barrier is not None
-                    self.rt.barrier.on_token(side, kind)
-                else:  # pragma: no cover - defensive
-                    raise ProtocolError(f"unknown work kind {kind!r}")
+            yield from self._drain_work()
+
+    def _drain_work(self) -> Generator:
+        """Handle queued work items in arrival order until the queue drains."""
+        while self._work:
+            side, kind = self._work.popleft()
+            self.handled[kind] = self.handled.get(kind, 0) + 1
+            if kind == "data":
+                yield from self._handle_data(side)
+            elif kind == "bypass":
+                yield from self._handle_bypass(side)
+            elif kind in ("barrier_start", "barrier_end"):
+                assert self.rt.barrier is not None
+                self.rt.barrier.on_token(side, kind)
+            else:  # pragma: no cover - defensive
+                raise ProtocolError(f"unknown work kind {kind!r}")
 
     # --------------------------------------------------------------- channels
     def _handle_data(self, side: str) -> Generator:
@@ -181,6 +202,10 @@ class ShmemService:
         base = link.rx_bypass.phys + slot * mailbox.slot_stride
         yield from self.rt.host.cpu._charge(_SLOT_HEADER_US)
         msg = unpack_header_bytes(self.rt.host.memory.read(base, 16))
+        # Inline payloads (fastpath small messages) ride inside the slot
+        # header itself, right after the packed Message words.
+        payload_off = (INLINE_PAYLOAD_OFFSET if msg.flags & FLAG_INLINE
+                       else SLOT_HEADER_BYTES)
         scope = self.rt.scope
         ctx = scope.adopt_msg(msg)
         with scope.span(f"svc_{msg.kind.name.lower()}", category="service",
@@ -188,7 +213,7 @@ class ShmemService:
                         src=msg.src_pe, dest=msg.dest_pe, nbytes=msg.size,
                         slot=slot):
             yield from self._dispatch(
-                msg, link, payload_phys=base + SLOT_HEADER_BYTES,
+                msg, link, payload_phys=base + payload_off,
                 channel="bypass"
             )
 

@@ -67,6 +67,9 @@ __all__ = [
     "SPAD_BLOCK_RIGHTWARD",
     "SPAD_BLOCK_LEFTWARD",
     "SLOT_HEADER_BYTES",
+    "INLINE_PAYLOAD_OFFSET",
+    "INLINE_MAX_BYTES",
+    "FLAG_INLINE",
 ]
 
 # Doorbell bit map (see module docstring).
@@ -87,6 +90,18 @@ SPAD_BLOCK_REGS = 4
 
 #: Bypass-slot in-memory header size (4 x u32, padded to a cacheline).
 SLOT_HEADER_BYTES = 64
+
+#: Inline payloads ride in the header's padding, after the 4 packed regs.
+INLINE_PAYLOAD_OFFSET = 16
+
+#: Hard ceiling on an inline payload (wire-format limit; the fastpath
+#: config's ``inline_max`` may only lower it).
+INLINE_MAX_BYTES = SLOT_HEADER_BYTES - INLINE_PAYLOAD_OFFSET
+
+#: Message flag: the payload is carried inside the slot header itself
+#: (no window write, no DMA).  Only ever set by the fastpath sender; the
+#: decode path is part of the base wire protocol so mixed rings interop.
+FLAG_INLINE = 0x1
 
 
 class MsgKind(enum.IntEnum):
@@ -124,13 +139,14 @@ class Mode(enum.IntEnum):
     MEMCPY = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One protocol record (fits four 32-bit ScratchPads).
 
     ``offset``/``size`` are the paper's "Address Offset" / "Data Size";
     ``aux`` carries a request id (get/amo) or chunk offset; ``seq`` is a
-    per-direction sequence number used to catch protocol bugs.
+    per-direction sequence number used to catch protocol bugs; ``flags``
+    occupies the two spare bits of reg0 (``FLAG_INLINE``).
     """
 
     kind: MsgKind
@@ -141,6 +157,7 @@ class Message:
     size: int
     aux: int = 0
     seq: int = 0
+    flags: int = 0
 
     def __post_init__(self) -> None:
         if not (0 <= self.src_pe < 256 and 0 <= self.dest_pe < 256):
@@ -149,6 +166,8 @@ class Message:
             raise ProtocolError(f"offset/size must fit u32: {self}")
         if not (0 <= self.aux < 2**32):
             raise ProtocolError(f"aux must fit u32: {self}")
+        if not (0 <= self.flags < 4):
+            raise ProtocolError(f"flags must fit two bits: {self}")
 
 
 def pack_message(msg: Message) -> tuple[int, int, int, int]:
@@ -156,6 +175,7 @@ def pack_message(msg: Message) -> tuple[int, int, int, int]:
     reg0 = (
         (int(msg.kind) & 0xF) << 28
         | (int(msg.mode) & 0x3) << 26
+        | (msg.flags & 0x3) << 24
         | (msg.src_pe & 0xFF) << 16
         | (msg.dest_pe & 0xFF) << 8
         | (msg.seq & 0xFF)
@@ -183,13 +203,27 @@ def unpack_message(regs: Sequence[int]) -> Message:
         size=size,
         aux=aux,
         seq=reg0 & 0xFF,
+        flags=(reg0 >> 24) & 0x3,
     )
 
 
-def pack_header_bytes(msg: Message) -> bytes:
-    """In-slot header encoding (bypass mailbox)."""
+def pack_header_bytes(msg: Message,
+                      inline_data: Optional[bytes] = None) -> bytes:
+    """In-slot header encoding (bypass mailbox).
+
+    With ``inline_data`` the payload bytes are embedded in the header's
+    padding at :data:`INLINE_PAYLOAD_OFFSET` (fastpath inline messages).
+    """
     regs = pack_message(msg)
-    return struct.pack("<4I", *regs).ljust(SLOT_HEADER_BYTES, b"\0")
+    head = struct.pack("<4I", *regs)
+    if inline_data is not None:
+        if len(inline_data) > INLINE_MAX_BYTES:
+            raise ProtocolError(
+                f"inline payload {len(inline_data)} exceeds "
+                f"{INLINE_MAX_BYTES} bytes"
+            )
+        head += bytes(inline_data)
+    return head.ljust(SLOT_HEADER_BYTES, b"\0")
 
 
 def unpack_header_bytes(raw: bytes | np.ndarray) -> Message:
@@ -301,6 +335,13 @@ class _MailboxBase:
     @property
     def in_flight(self) -> int:
         return len(self._outstanding)
+
+    @property
+    def free_slots(self) -> int:
+        """Credits immediately available (no queued waiters, free tokens)."""
+        if self._slots.queue_length:
+            return 0
+        return self._slots.capacity - self._slots.in_use
 
     @property
     def idle(self) -> bool:
@@ -451,23 +492,88 @@ class BypassMailbox(_MailboxBase):
                 with scope.span("payload_write", category="mailbox",
                                 track=self.name, nbytes=payload.nbytes,
                                 mode=msg.mode.name, slot=slot):
-                    if msg.mode is Mode.DMA:
-                        dma_req = yield from self.driver.dma_write_segments(
-                            BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
-                            payload.segments()
-                        )
-                        yield dma_req.done
-                    else:
-                        yield from self.driver.pio_window_write(
-                            BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
-                            payload.data()
-                        )
+                    yield from self._write_slot_payload(msg, payload, base)
                 with scope.span("header_write", category="mailbox",
                                 track=self.name, kind=msg.kind.name,
                                 slot=slot):
                     yield from self.driver.pio_window_write(
                         BYPASS_WINDOW, base,
                         np.frombuffer(pack_header_bytes(msg), dtype=np.uint8)
+                    )
+                yield from self.driver.ring_doorbell(DOORBELL_BYPASS_MSG)
+            finally:
+                self._tx_lock.release(tx)
+        except BaseException:
+            # Undelivered: no ACK will ever free this slot (see DataMailbox).
+            if request in self._outstanding:
+                self._outstanding.remove(request)
+                self._slots.release(request)
+                self.failed_count += 1
+            raise
+        self.sent_count += 1
+
+    def _write_slot_payload(self, msg: Message, payload: PayloadSource,
+                            base: int) -> Generator:
+        """Move one slot's payload into the peer's bypass window.
+
+        Split out of :meth:`send` so the fastpath mailbox can substitute a
+        staged chained-descriptor DMA without re-deriving the slot/flow
+        protocol around it.
+        """
+        if msg.mode is Mode.DMA:
+            dma_req = yield from self.driver.dma_write_segments(
+                BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
+                payload.segments()
+            )
+            yield dma_req.done
+        else:
+            yield from self.driver.pio_window_write(
+                BYPASS_WINDOW, base + SLOT_HEADER_BYTES,
+                payload.data()
+            )
+
+    def send_inline(self, msg: Message, data: np.ndarray) -> Generator:
+        """Fastpath: payload rides inside the 64-byte slot header.
+
+        One PIO write publishes header and payload together, skipping the
+        window payload write (and all DMA setup) for tiny messages.  Flow
+        control is identical to :meth:`send` — the slot is held until the
+        receiver's ACK doorbell — so ``quiet()`` semantics are unchanged.
+        """
+        nbytes = int(data.nbytes)
+        if nbytes > INLINE_MAX_BYTES:
+            raise ProtocolError(
+                f"{self.name}: inline payload {nbytes} exceeds "
+                f"{INLINE_MAX_BYTES} bytes"
+            )
+        if msg.size != nbytes:
+            raise ProtocolError(
+                f"{self.name}: header size {msg.size} != payload {nbytes}"
+            )
+        if not (msg.flags & FLAG_INLINE):
+            raise ProtocolError(f"{self.name}: send_inline needs FLAG_INLINE")
+        scope = self.driver.scope
+        scope.bind_msg(msg, scope.current_span_id())
+        with scope.span("slot_wait", category="mailbox", track=self.name):
+            request = self._slots.request()
+            yield request
+        self._outstanding.append(request)
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.slots
+        base = slot * self.slot_stride
+        try:
+            with scope.span("tx_wait", category="mailbox", track=self.name,
+                            slot=slot):
+                tx = self._tx_lock.request()
+                yield tx
+            try:
+                raw = pack_header_bytes(msg, inline_data=data.tobytes())
+                with scope.span("inline_write", category="mailbox",
+                                track=self.name, kind=msg.kind.name,
+                                nbytes=nbytes, slot=slot):
+                    yield from self.driver.pio_window_write(
+                        BYPASS_WINDOW, base,
+                        np.frombuffer(raw, dtype=np.uint8)
                     )
                 yield from self.driver.ring_doorbell(DOORBELL_BYPASS_MSG)
             finally:

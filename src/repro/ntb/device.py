@@ -263,18 +263,20 @@ class NtbEndpoint:
     def dma_write(self, window_index: int, window_offset: int,
                   segments: Sequence[PhysSegment],
                   on_complete: Optional[Callable[[DmaRequest], None]] = None,
-                  ) -> DmaRequest:
+                  chained: bool = False) -> DmaRequest:
         """Submit a local-to-peer DMA through a window."""
         return self.dma.submit(DmaDirection.WRITE, window_index,
-                               window_offset, segments, on_complete)
+                               window_offset, segments, on_complete,
+                               chained=chained)
 
     def dma_read(self, window_index: int, window_offset: int,
                  segments: Sequence[PhysSegment],
                  on_complete: Optional[Callable[[DmaRequest], None]] = None,
-                 ) -> DmaRequest:
+                 chained: bool = False) -> DmaRequest:
         """Submit a peer-to-local DMA through a window."""
         return self.dma.submit(DmaDirection.READ, window_index,
-                               window_offset, segments, on_complete)
+                               window_offset, segments, on_complete,
+                               chained=chained)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         peer = self.peer.name if self.peer else None

@@ -122,6 +122,11 @@ class DmaRequest:
     completed_at: float = field(default=0.0)
     #: submitter's span at submit time — the engine-side span's parent.
     ctx_span: Optional[int] = None
+    #: chained-descriptor mode: the engine prefetches descriptor *i+1*
+    #: while segment *i* streams, so only the first segment pays the full
+    #: ``per_descriptor_us``; later segments pay only the portion not
+    #: hidden behind the previous segment's pump time.
+    chained: bool = False
 
     @property
     def nbytes(self) -> int:
@@ -198,7 +203,7 @@ class DmaEngine:
     def submit(self, direction: DmaDirection, window_index: int,
                window_offset: int, segments: Sequence[PhysSegment],
                on_complete: Optional[Callable[[DmaRequest], None]] = None,
-               ) -> DmaRequest:
+               chained: bool = False) -> DmaRequest:
         """Queue a transfer; returns the request whose ``done`` event fires
         at completion.  Raises if the engine is not attached."""
         if not self.is_attached:
@@ -216,6 +221,7 @@ class DmaEngine:
             # submit() runs synchronously in the submitter's process, so
             # this captures the causally-enclosing span (payload_write).
             ctx_span=self.scope.current_span_id(),
+            chained=chained,
         )
         self._ring.put(request)
         return request
@@ -255,6 +261,32 @@ class DmaEngine:
                 request.on_complete(request)
             request.done.succeed(request)
 
+    def _descriptor_delay(self, request: DmaRequest,
+                          fetch_started: Optional[float]) -> float:
+        """Exposed descriptor-fetch cost for the next segment.
+
+        Unchained rings fetch each descriptor on demand (full cost).  A
+        chained ring starts fetching descriptor *i+1* the moment segment
+        *i* begins streaming (``fetch_started``), so only the remainder
+        not hidden behind the stream is exposed.
+        """
+        if not request.chained or fetch_started is None:
+            return self.config.per_descriptor_us
+        elapsed = self.env.now - fetch_started
+        return max(0.0, self.config.per_descriptor_us - elapsed)
+
+    def _charge_descriptor(self, request: DmaRequest,
+                           fetch_started: Optional[float],
+                           extra: float = 0.0) -> Generator:
+        """Charge the (possibly prefetch-hidden) descriptor cost.
+
+        Unchained requests always yield the timeout — even a zero-cost one
+        — preserving the pre-chaining event interleaving exactly.
+        """
+        delay = self._descriptor_delay(request, fetch_started) + extra
+        if not request.chained or delay > 0:
+            yield self.env.timeout(delay)
+
     def _do_write(self, request: DmaRequest) -> Generator:
         """local segments -> peer memory at window_offset (gathered)."""
         assert self._resolve is not None
@@ -262,8 +294,10 @@ class DmaEngine:
             request.window_index, request.window_offset, request.nbytes
         )
         cursor = dst_phys
+        fetch_started: Optional[float] = None
         for segment in request.segments:
-            yield self.env.timeout(self.config.per_descriptor_us)
+            yield from self._charge_descriptor(request, fetch_started)
+            fetch_started = self.env.now
             yield from self._pump_segment(
                 src_mem=self._local_memory, src_addr=segment.phys_addr,
                 src_port=self._local_port,
@@ -279,10 +313,13 @@ class DmaEngine:
             request.window_index, request.window_offset, request.nbytes
         )
         cursor = src_phys
+        fetch_started: Optional[float] = None
         for segment in request.segments:
-            yield self.env.timeout(
-                self.config.per_descriptor_us + self.config.read_roundtrip_us
+            # The read round trip is non-posted and cannot be prefetched.
+            yield from self._charge_descriptor(
+                request, fetch_started, extra=self.config.read_roundtrip_us
             )
+            fetch_started = self.env.now
             yield from self._pump_segment(
                 src_mem=src_mem, src_addr=cursor, src_port=src_port,
                 dst_mem=self._local_memory, dst_addr=segment.phys_addr,

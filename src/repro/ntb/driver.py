@@ -272,10 +272,17 @@ class NtbDriver:
         return self.endpoint.dma_write(window_index, window_offset, segments)
 
     def dma_write_segments(self, window_index: int, window_offset: int,
-                           segments: Sequence[PhysSegment]) -> Generator:
-        """Submit a DMA from explicit (e.g. pinned) segments."""
+                           segments: Sequence[PhysSegment],
+                           chained: bool = False) -> Generator:
+        """Submit a DMA from explicit (e.g. pinned) segments.
+
+        ``chained=True`` links the descriptors into one chain so the
+        engine prefetches descriptor *i+1* while segment *i* streams
+        (fastpath; see :mod:`repro.core.fastpath`).
+        """
         yield from self.host.cpu.dma_submit()
-        return self.endpoint.dma_write(window_index, window_offset, segments)
+        return self.endpoint.dma_write(window_index, window_offset, segments,
+                                       chained=chained)
 
     def dma_read_user(self, window_index: int, window_offset: int,
                       virt: int, nbytes: int) -> Generator:

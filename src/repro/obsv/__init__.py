@@ -10,14 +10,34 @@ Import direction: this package depends only on the stdlib, so the
 hardware layers (``pcie``, ``ntb``) may import it without cycles.
 """
 
-from .analysis import TraceNode, build_trees, render_breakdown, \
-    render_flamegraph
-from .export import dump_chrome_trace, to_chrome_trace, \
-    validate_chrome_trace
 from .hist import HistogramRegistry, HistSummary, LogHistogram
 from .sampler import LinkSample, link_utilisation
 from .spans import NULL_SCOPE, NullScope, ShmemScope, Span, \
     instrument_cluster
+
+#: Deferred (PEP 562): the analysis/export helpers pull rendering and
+#: filesystem machinery that the hot import path (runtime bring-up, the
+#: smoke bench) never touches.
+_LAZY_SUBMODULE = {
+    "TraceNode": "analysis",
+    "build_trees": "analysis",
+    "render_breakdown": "analysis",
+    "render_flamegraph": "analysis",
+    "dump_chrome_trace": "export",
+    "to_chrome_trace": "export",
+    "validate_chrome_trace": "export",
+}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY_SUBMODULE.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{submodule}", __name__), name)
+    globals()[name] = value
+    return value
 
 __all__ = [
     "Span",

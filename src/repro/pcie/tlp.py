@@ -58,7 +58,7 @@ class TlpType(enum.Enum):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TlpOverhead:
     """Per-TLP byte overhead at the physical layer.
 
@@ -77,7 +77,7 @@ class TlpOverhead:
         return self.header_bytes + self.digest_bytes + self.framing_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Tlp:
     """One transaction-layer packet (metadata only)."""
 

@@ -31,6 +31,11 @@ import heapq
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
+# Bound at module level: the scheduler invokes these once per event, so
+# attribute lookups on ``heapq`` show up in profiles at scale.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 from .errors import (
     EventLifecycleError,
     Interrupt,
@@ -114,11 +119,12 @@ class Event:
     # -- triggering ---------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise EventLifecycleError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=priority)
+        env = self.env
+        _heappush(env._queue, (env._now, priority, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -162,11 +168,16 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SchedulingError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment.schedule: timeouts are the
+        # single most-constructed object in any run (every cost charge is
+        # one), so the constructor avoids two extra frame pushes.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        _heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay}>"
@@ -246,7 +257,7 @@ class Process(Event):
         env._active_process = self
         # An interrupt may arrive after the process already terminated or
         # moved on; deliver only if still waiting.
-        if not self.is_alive:
+        if self._value is not PENDING:
             env._active_process = None
             return
         # Detach from the previous target if the wakeup is an interrupt.
@@ -257,14 +268,15 @@ class Process(Event):
                 except ValueError:  # pragma: no cover - defensive
                     pass
 
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = generator.send(event._value)
                 else:
                     event._defused = True
                     exc = event._value
-                    next_target = self._generator.throw(exc)
+                    next_target = generator.throw(exc)
             except StopIteration as stop:
                 self._terminate_ok(stop.value)
                 break
@@ -371,7 +383,7 @@ class Environment:
         """Queue a triggered event for processing ``delay`` µs from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay!r}")
-        heapq.heappush(
+        _heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
@@ -381,13 +393,16 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event, advancing virtual time to it."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
+        when, _prio, _eid, event = _heappop(queue)
         self._now = when
-        for hook in self.step_hooks:
-            hook(self, event)
-        callbacks, event.callbacks = event.callbacks, None
+        if self.step_hooks:
+            for hook in self.step_hooks:
+                hook(self, event)
+        callbacks = event.callbacks
+        event.callbacks = None
         if callbacks is None:  # pragma: no cover - defensive
             raise EventLifecycleError(f"{event!r} processed twice")
         for callback in callbacks:

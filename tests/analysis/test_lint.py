@@ -207,6 +207,60 @@ def test_span_primitives_allowed_inside_obsv(tmp_path):
     assert lint_file(path) == []
 
 
+# ------------------------------------------------------ rule: fastpath-gating
+def test_module_level_fastpath_import_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "from .fastpath import FastpathConfig\n",
+    )
+    assert [issue.rule for issue in lint_file(path)] == ["fastpath-gating"]
+
+
+def test_absolute_fastpath_import_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/bench/bad.py",
+        "import repro.core.fastpath\n",
+    )
+    assert [issue.rule for issue in lint_file(path)] == ["fastpath-gating"]
+
+
+def test_from_package_import_fastpath_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "from . import fastpath\n",
+    )
+    assert [issue.rule for issue in lint_file(path)] == ["fastpath-gating"]
+
+
+def test_deferred_fastpath_import_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/good.py",
+        "def setup(config):\n"
+        "    if config.fastpath is not None:\n"
+        "        from .fastpath import CoalescingService\n"
+        "        return CoalescingService\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_type_checking_fastpath_import_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/good.py",
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from .fastpath import FastpathConfig  # noqa: F401\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_fastpath_module_itself_exempt(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/fastpath.py",
+        "from . import fastpath  # pathological but its own business\n",
+    )
+    assert lint_file(path) == []
+
+
 # ---------------------------------------------------------------- whole tree
 def test_repo_source_tree_is_clean():
     issues = lint_paths([REPO_SRC])
