@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..ntb.device import NtbEndpoint
     from ..ntb.dma import DmaEngine
     from ..ntb.doorbell import DoorbellRegister
+    from ..obsv.spans import ShmemScope
 
 __all__ = ["InvariantError", "InvariantViolation", "check_cluster",
            "check_endpoint_windows", "check_dma_engine", "check_doorbell",
@@ -45,7 +46,7 @@ __all__ = ["InvariantError", "InvariantViolation", "check_cluster",
 class InvariantError(Exception):
     """A hardware-model invariant does not hold at quiescence."""
 
-    def __init__(self, violations: List["InvariantViolation"]):
+    def __init__(self, violations: List["InvariantViolation"]) -> None:
         self.violations = violations
         lines = [f"{len(violations)} NTB model invariant violation(s):"]
         lines += [f"  - {v.describe()}" for v in violations]
@@ -140,7 +141,7 @@ def check_doorbell(doorbell: "DoorbellRegister",
     return violations
 
 
-def check_span_balance(scope,
+def check_span_balance(scope: "ShmemScope",
                        component: str = "obsv") -> List[InvariantViolation]:
     """Every span closed, every message binding adopted, at quiescence."""
     violations: List[InvariantViolation] = []

@@ -18,7 +18,9 @@ Rules
     Process coroutines communicate with the event kernel by yielding
     :class:`~repro.sim.Event` objects; a bare ``yield`` (or ``yield`` of a
     literal constant) is always a latent ``SimulationError`` at runtime.
-    Suppress intentional cases with ``# pragma: no cover`` on the line.
+    Functions decorated ``@contextmanager`` are exempt (their bare
+    ``yield`` is the with-body marker, not an event).  Suppress other
+    intentional cases with ``# pragma: no cover`` on the line.
 
 ``register-mutation``
     NTB register state (translation addresses/sizes, doorbell pending and
@@ -36,6 +38,17 @@ Rules
     ``PeerUnreachableError`` instead of hanging the simulation.  The
     helper module itself is exempt; purely local rendezvous can be
     suppressed with ``# lint: skip``.
+
+``registered-wait``
+    A spin/retry loop in ``repro/core`` (``while ...: yield
+    <x>.timeout(...)``) is a blocking primitive: it can park a PE for
+    unbounded simulated time.  Every such primitive must make itself
+    visible to the wait-for graph — the enclosing function must touch
+    ``wait_graph`` / ``blocked_on`` (register, or consult the graph) so
+    the ShmemCheck deadlock detector can see the dependency and name the
+    cycle instead of reporting an anonymous hang.  Loops that are
+    genuinely bounded (a fixed retry budget with a raise) can be
+    suppressed with ``# lint: skip`` on the ``yield`` line.
 
 ``span-discipline``
     Observability spans must be statically balanced: outside ``repro/obsv``
@@ -133,13 +146,17 @@ def _suppressed(source_lines: Sequence[str], lineno: int) -> bool:
 
 
 class _Checker(ast.NodeVisitor):
-    def __init__(self, path: Path, source_lines: Sequence[str]):
+    def __init__(self, path: Path, source_lines: Sequence[str]) -> None:
         self.path = path
         self.source_lines = source_lines
         self.package = _repro_package(path)
         self.issues: List[LintIssue] = []
         self._func_depth = 0
         self._type_checking_depth = 0
+        self._func_stack: List[ast.AST] = []
+        #: functions already known to touch the wait graph (id(node)).
+        self._registered_funcs: dict[int, bool] = {}
+        self._contextmanager_depth = 0
 
     # ------------------------------------------------------------- helpers
     def _emit(self, node: ast.AST, rule: str, message: str) -> None:
@@ -155,18 +172,37 @@ class _Checker(ast.NodeVisitor):
         return self.package in SIMULATED_PACKAGES
 
     # ------------------------------------------------- scope bookkeeping
+    @staticmethod
+    def _is_contextmanager(node: ast.AST) -> bool:
+        for decorator in getattr(node, "decorator_list", []):
+            name = decorator.attr if isinstance(decorator, ast.Attribute) \
+                else getattr(decorator, "id", None)
+            if name in ("contextmanager", "asynccontextmanager"):
+                return True
+        return False
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        is_cm = self._is_contextmanager(node)
         self._func_depth += 1
+        self._func_stack.append(node)
+        self._contextmanager_depth += is_cm
         try:
             self.generic_visit(node)
         finally:
+            self._contextmanager_depth -= is_cm
+            self._func_stack.pop()
             self._func_depth -= 1
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        is_cm = self._is_contextmanager(node)
         self._func_depth += 1
+        self._func_stack.append(node)
+        self._contextmanager_depth += is_cm
         try:
             self.generic_visit(node)
         finally:
+            self._contextmanager_depth -= is_cm
+            self._func_stack.pop()
             self._func_depth -= 1
 
     @staticmethod
@@ -269,6 +305,9 @@ class _Checker(ast.NodeVisitor):
 
     # ------------------------------------------------------- rule: bare-yield
     def visit_Yield(self, node: ast.Yield) -> None:
+        if self._contextmanager_depth:
+            self.generic_visit(node)
+            return
         if node.value is None:
             self._emit(
                 node, "bare-yield",
@@ -294,6 +333,47 @@ class _Checker(ast.NodeVisitor):
                 "link raises PeerUnreachableError instead of hanging "
                 "(purely local rendezvous: add '# lint: skip')",
             )
+        self.generic_visit(node)
+
+    # --------------------------------------------- rule: registered-wait
+    _WAIT_GRAPH_NAMES = frozenset({"wait_graph", "blocked_on"})
+
+    def _touches_wait_graph(self, func: ast.AST) -> bool:
+        cached = self._registered_funcs.get(id(func))
+        if cached is not None:
+            return cached
+        touches = False
+        for child in ast.walk(func):
+            if isinstance(child, ast.Attribute) \
+                    and child.attr in self._WAIT_GRAPH_NAMES:
+                touches = True
+                break
+            if isinstance(child, ast.Name) \
+                    and child.id in self._WAIT_GRAPH_NAMES:
+                touches = True
+                break
+        self._registered_funcs[id(func)] = touches
+        return touches
+
+    def visit_While(self, node: ast.While) -> None:
+        if (self.package == CORE_PACKAGE
+                and self.path.name not in BOUNDED_WAIT_EXEMPT_FILES
+                and self._func_stack
+                and not self._touches_wait_graph(self._func_stack[-1])):
+            for child in ast.walk(node):
+                if (isinstance(child, ast.Yield)
+                        and isinstance(child.value, ast.Call)
+                        and isinstance(child.value.func, ast.Attribute)
+                        and child.value.func.attr == "timeout"):
+                    self._emit(
+                        child, "registered-wait",
+                        "spin loop ('while ...: yield <x>.timeout(...)') "
+                        "in repro/core without wait-for-graph "
+                        "registration: blocking primitives must report "
+                        "through wait_graph/blocked_on so the deadlock "
+                        "detector can name the cycle (bounded retries: "
+                        "add '# lint: skip' on the yield line)",
+                    )
         self.generic_visit(node)
 
     # ------------------------------------------- rule: register-mutation

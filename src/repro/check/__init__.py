@@ -1,0 +1,46 @@
+"""ShmemCheck: systematic schedule and fault-point exploration.
+
+The deterministic simulator makes every run reproducible, but a single
+schedule only ever witnesses one interleaving of the protocol.  ShmemCheck
+turns the determinism into a *stateless model checker*: a recording
+:class:`~repro.sim.SchedulePolicy` captures every point where the event
+heap held a genuine tie, a DFS explorer re-executes the program forcing
+each alternative in turn, and a dynamic partial-order reduction (DPOR)
+pass prunes branches whose steps provably commute.  Every violation comes
+back with a :class:`~repro.check.trace.ScheduleTrace` that replays it
+bit-for-bit (``python -m repro.check --replay <file>``).
+
+Checkers run against every explored schedule:
+
+* wait-for-graph cycles (:mod:`repro.core.waitgraph`) — true deadlock;
+* event-queue drain before program completion — wedged schedule;
+* virtual-time horizon / step-budget exhaustion — livelock and lost
+  wakeups, reported with the blocked primitives and open ShmemScope spans;
+* post-run quiescence: no leaked wait registrations, services idle,
+  aligned barrier generations;
+* the NTB hardware invariants (:mod:`repro.analysis.invariants`) and
+  ShmemSan race reports on every terminal state.
+
+See ``docs/CHECKING.md`` for the tour and ``repro.check.models`` for the
+bundled protocol models the CI job explores exhaustively.
+"""
+
+from .explorer import ExploreReport, explore
+from .models import MODELS, CheckModel
+from .mutations import MUTATIONS
+from .runner import CheckSettings, RunOutcome, Violation, run_schedule
+from .trace import FaultPoint, ScheduleTrace
+
+__all__ = [
+    "CheckModel",
+    "CheckSettings",
+    "ExploreReport",
+    "FaultPoint",
+    "MODELS",
+    "MUTATIONS",
+    "RunOutcome",
+    "ScheduleTrace",
+    "Violation",
+    "explore",
+    "run_schedule",
+]

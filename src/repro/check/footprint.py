@@ -1,0 +1,150 @@
+"""Per-step footprints: the independence oracle behind DPOR.
+
+Two scheduler steps *commute* when swapping them cannot change any later
+state.  ShmemCheck over-approximates each step's effects with a
+:class:`Footprint` built from two sources while the step runs:
+
+* **domains** — which simulated actors the step resumed or notified.  A
+  step's domains are the *processes* it resumed (``proc:pe0.main``), the
+  hardware/driver models whose bound-method callbacks it ran
+  (``obj:host0.pic``), and the resources whose grants it delivered
+  (``res:host0.memport.server``).  Crucially this includes wake-up
+  attribution: when step A triggers an event that resumes process P,
+  A's footprint gains P's domain, so the A-before-P ordering is never
+  pruned away.
+* **shared-state keys** — every mutable container two actors can reach
+  carries an access probe reporting ``(key, is_write)`` pairs into the
+  running step's footprint: symmetric-heap shadow cells (the
+  instrumented sanitizer), scratchpad registers and doorbells (the NTB
+  hardware the nodes genuinely share), physical-memory pages, and the
+  FIFO order of every :class:`~repro.sim.Resource` and
+  :class:`~repro.sim.Store`.
+
+Cross-actor interaction therefore flows through one of: a simulation
+event (captured by wake-up attribution), or a probed container (captured
+by key overlap).  Plain-Python state shared by two processes of one node
+that bypasses *both* channels — e.g. a commutative max-merge into a
+bookkeeping dict with no event fired — is not modelled; the seeded
+mutation suite (:mod:`repro.check.mutations`) exists to catch oracle
+regressions of that kind.
+
+A step whose effects cannot be attributed at all (a callback on a plain
+function, an unnamed process) is **opaque** and conflicts with
+everything: DPOR then explores rather than prunes.  Wrong-way errors are
+therefore one-sided — imprecision costs schedules, never soundness.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..sim import Event, Process
+
+__all__ = ["Footprint", "domains_of"]
+
+#: recursion guard when resolving callback targets through conditions.
+_MAX_DEPTH = 6
+
+
+class Footprint:
+    """Read/write sets over shared keys plus the set of touched actors."""
+
+    __slots__ = ("reads", "writes", "domains", "opaque")
+
+    def __init__(self) -> None:
+        self.reads: set = set()
+        self.writes: set = set()
+        self.domains: set = set()
+        self.opaque = False
+
+    def note(self, key: object, is_write: bool) -> None:
+        (self.writes if is_write else self.reads).add(key)
+
+    def add_domains(self, domains: set, opaque: bool) -> None:
+        self.domains |= domains
+        if opaque:
+            self.opaque = True
+
+    def conflicts(self, other: "Footprint") -> bool:
+        """True unless the two steps provably commute."""
+        if self.opaque or other.opaque:
+            return True
+        if self.domains & other.domains:
+            return True
+        if self.writes & (other.writes | other.reads):
+            return True
+        if other.writes & self.reads:
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Footprint dom={sorted(self.domains)} r={len(self.reads)} "
+            f"w={len(self.writes)}{' opaque' if self.opaque else ''}>"
+        )
+
+
+def domains_of(event: Event) -> tuple[set, bool]:
+    """Which actors does processing ``event`` touch? ``(domains, opaque)``.
+
+    Walks the event's callbacks: bound ``Process`` targets resolve to
+    their process identity; condition/event targets recurse one level
+    into *their* callbacks; named hardware/driver models resolve to an
+    object identity; anything else (plain closures) makes the step
+    opaque.
+    """
+    domains: set = set()
+    opaque = _collect(event, domains, _MAX_DEPTH)
+    return domains, opaque
+
+
+def _collect(event: Event, domains: set, depth: int) -> bool:
+    if depth <= 0:
+        return True
+    opaque = False
+    if isinstance(event, Process):
+        name = getattr(event, "name", None)
+        if name:
+            domains.add(f"proc:{name}")
+        else:
+            opaque = True
+    resource = getattr(event, "resource", None)
+    if resource is not None:
+        # A Resource grant: conflict with every other step that touches
+        # the same resource (its accesses are also probed separately).
+        domains.add(f"res:{getattr(resource, 'name', '') or ''}")
+    callbacks = event.callbacks
+    if callbacks is None:
+        return opaque
+    for callback in callbacks:
+        func = callback
+        while isinstance(func, functools.partial):
+            func = func.func
+        owner = getattr(func, "__self__", None)
+        if isinstance(owner, Process):
+            name = getattr(owner, "name", None)
+            if name:
+                domains.add(f"proc:{name}")
+            else:
+                opaque = True
+        elif isinstance(owner, Event):
+            # Notifying a condition (AllOf/AnyOf child completion) either
+            # leaves it pending — a commutative counter update private to
+            # the condition — or triggers it, in which case the trigger is
+            # scheduled through the policy's ``scheduled`` hook and the
+            # firing step picks up the condition's subscribers dynamically.
+            # Either way the static walk need not charge this step.
+            pass
+        elif owner is not None:
+            # A hardware/driver model (interrupt controller, NTB driver):
+            # its private state belongs to it alone, and whatever shared
+            # containers it touches are probed.
+            name = getattr(owner, "name", None)
+            if isinstance(name, str) and name:
+                domains.add(f"obj:{name}")
+            else:
+                opaque = True
+        else:
+            # Plain function / unknown receiver: unattributable effects.
+            opaque = True
+    return opaque

@@ -23,6 +23,7 @@ from .program import SpmdReport, make_cluster, run_spmd
 from .runtime import AmoOp, ShmemConfig, ShmemRuntime
 from .service import ShmemService
 from .transfer import Message, Mode, MsgKind
+from .waitgraph import WaitEntry, WaitGraph
 from .waits import remote_wait
 
 #: Deferred (PEP 562): the race sanitizer and the collective algorithms
@@ -93,5 +94,7 @@ __all__ = [
     "Message",
     "Mode",
     "MsgKind",
+    "WaitEntry",
+    "WaitGraph",
     "remote_wait",
 ]

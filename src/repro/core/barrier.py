@@ -196,22 +196,26 @@ class _TokenBarrier:
             else:
                 yield from self._send_degraded_msg(
                     coordinator, gen, _MSG_ARRIVE)
-            while self._released < gen:
-                doom = self._line_doomed(edge)
-                if doom is not None:
-                    raise doom
-                resend = rt.env.timeout(self.RESEND_US)
-                yield rt.env.any_of([
-                    self._signal.wait(), rt.link_state_changed.wait(),
-                    resend,
-                ])
-                if (resend.triggered and self._released < gen
-                        and rt.my_pe_id != coordinator):
-                    # The arrival (or its release) may have been dropped
-                    # by a relay that had not yet learned of the dead
-                    # edge; arrivals are idempotent, so just re-send.
-                    yield from self._send_degraded_msg(
-                        coordinator, gen, _MSG_ARRIVE)
+            with rt.blocked_on(f"degraded barrier release gen {gen}",
+                               peer=coordinator
+                               if rt.my_pe_id != coordinator else None):
+                while self._released < gen:
+                    doom = self._line_doomed(edge)
+                    if doom is not None:
+                        raise doom
+                    resend = rt.env.timeout(self.RESEND_US)
+                    yield rt.env.any_of([
+                        self._signal.wait(), rt.link_state_changed.wait(),
+                        resend,
+                    ])
+                    if (resend.triggered and self._released < gen
+                            and rt.my_pe_id != coordinator):
+                        # The arrival (or its release) may have been
+                        # dropped by a relay that had not yet learned of
+                        # the dead edge; arrivals are idempotent, so just
+                        # re-send.
+                        yield from self._send_degraded_msg(
+                            coordinator, gen, _MSG_ARRIVE)
         self.degraded_generation += 1
         self.generation = gen + 1
 
@@ -486,11 +490,13 @@ class CentralizedBarrier:
             yield from rt.amo(0, counter, AmoOp.SET, 0)
             yield from rt.amo(0, release, AmoOp.SET, gen)
         else:
-            while True:
-                value = yield from rt.amo(0, release, AmoOp.FETCH)
-                if value >= gen:
-                    break
-                yield rt.env.timeout(self.POLL_US)
+            with rt.blocked_on(f"centralized barrier release gen {gen}",
+                               resource=("barrier-release", release.offset)):
+                while True:
+                    value = yield from rt.amo(0, release, AmoOp.FETCH)
+                    if value >= gen:
+                        break
+                    yield rt.env.timeout(self.POLL_US)
         self.generation = gen
 
 

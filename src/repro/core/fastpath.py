@@ -305,7 +305,8 @@ class CoalescingService(ShmemService):
                 while (not self._work and polled < self.fp.poll_rounds
                        and not thread.stop_requested):
                     self._poll_idle = True
-                    yield self.env.timeout(self.fp.poll_us)
+                    # Bounded by poll_rounds, not a blocking wait.
+                    yield self.env.timeout(self.fp.poll_us)  # lint: skip
                     self._poll_idle = False
                     polled += 1
                 if not self._work:

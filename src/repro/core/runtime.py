@@ -20,8 +20,9 @@ Initialization follows §III-B.1's four steps:
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator, Hashable, Iterator, Optional
 
 import numpy as np
 
@@ -285,6 +286,12 @@ class ShmemRuntime:
         self.put_count = 0
         self.get_count = 0
         self.amo_count = 0
+        #: Wait-for graph (cluster singleton, installed by ShmemCheck's
+        #: runner before runtimes are built; None on ordinary runs).  Every
+        #: blocking primitive registers through :meth:`blocked_on` or
+        #: :func:`repro.core.waits.remote_wait` so wedged schedules can be
+        #: blamed on a concrete cycle.
+        self.wait_graph = getattr(cluster, "wait_graph", None)
         #: ShmemSan instance, shared by every sanitizing runtime of the
         #: cluster (race detection needs all PEs' clocks in one place).
         self.san = None
@@ -460,17 +467,18 @@ class ShmemRuntime:
         # cable, dead host) must surface as a typed error, not an
         # infinite ScratchPad poll.
         start = self.env.now
-        while True:
-            value = yield from driver.spad_read(inc + 0)
-            if (value & 0xFFFF0000) == _HELLO_MAGIC:
-                link.peer_host_id = value & 0xFFFF
-                break
-            if self.env.now - start > self.config.handshake_timeout_us:
-                raise PeerUnreachableError(
-                    f"{self.name}: no hello from {link.side} neighbor "
-                    f"after {self.config.handshake_timeout_us} µs"
-                )
-            yield self.env.timeout(self.config.handshake_poll_us)
+        with self.blocked_on(f"handshake hello ({link.side})"):
+            while True:
+                value = yield from driver.spad_read(inc + 0)
+                if (value & 0xFFFF0000) == _HELLO_MAGIC:
+                    link.peer_host_id = value & 0xFFFF
+                    break
+                if self.env.now - start > self.config.handshake_timeout_us:
+                    raise PeerUnreachableError(
+                        f"{self.name}: no hello from {link.side} neighbor "
+                        f"after {self.config.handshake_timeout_us} µs"
+                    )
+                yield self.env.timeout(self.config.handshake_poll_us)
         # Program incoming translations now that we know who is talking,
         # and add the peer's requester id to our LUT.
         yield from driver.program_incoming(
@@ -490,16 +498,17 @@ class ShmemRuntime:
         which time a fresh header has overwritten it."""
         inc = link.incoming_spad_block
         start = self.env.now
-        while True:
-            value = yield from link.driver.spad_read(inc + 1)
-            if (value & 0xFFFF0000) == _READY_MAGIC:
-                break
-            if self.env.now - start > self.config.handshake_timeout_us:
-                raise PeerUnreachableError(
-                    f"{self.name}: {link.side} neighbor never became READY "
-                    f"({self.config.handshake_timeout_us} µs)"
-                )
-            yield self.env.timeout(self.config.handshake_poll_us)
+        with self.blocked_on(f"handshake ready ({link.side})"):
+            while True:
+                value = yield from link.driver.spad_read(inc + 1)
+                if (value & 0xFFFF0000) == _READY_MAGIC:
+                    break
+                if self.env.now - start > self.config.handshake_timeout_us:
+                    raise PeerUnreachableError(
+                        f"{self.name}: {link.side} neighbor never became "
+                        f"READY ({self.config.handshake_timeout_us} µs)"
+                    )
+                yield self.env.timeout(self.config.handshake_poll_us)
 
     def _register_irqs(self) -> None:
         """Step 2: wire doorbell bits to the service thread / mailboxes."""
@@ -576,6 +585,26 @@ class ShmemRuntime:
         req_id = self._next_req_id
         self._next_req_id = (self._next_req_id + 1) & 0xFFFFFFFF or 1
         return req_id
+
+    @contextmanager
+    def blocked_on(self, what: str, *, peer: Optional[int] = None,
+                   resource: Optional[Hashable] = None) -> Iterator[None]:
+        """Register a blocking region with the wait-for graph.
+
+        Poll/quiesce loops wrap themselves in this so ShmemCheck's
+        deadlock and liveness checkers can see *why* a PE is not making
+        progress; a no-op (one attribute test) without a wait graph.
+        """
+        graph = self.wait_graph
+        if graph is None:
+            yield
+            return
+        token = graph.block(self.my_pe_id, what=what, peer=peer,
+                            resource=resource, since=self.env.now)
+        try:
+            yield
+        finally:
+            graph.unblock(token)
 
     def link_for(self, direction: Direction) -> LinkEnd:
         side = direction.value
@@ -874,7 +903,8 @@ class ShmemRuntime:
                     ) from exc
                 attempt += 1
                 self.retries += 1
-                yield self.env.timeout(
+                # Bounded retry backoff (max_retries), not a blocking wait.
+                yield self.env.timeout(  # lint: skip
                     self.config.retry_backoff_us * (2 ** (attempt - 1)))
                 continue
             cursor += chunk_size
@@ -913,7 +943,8 @@ class ShmemRuntime:
                     ) from exc
                 attempt += 1
                 self.retries += 1
-                yield self.env.timeout(
+                # Bounded retry backoff (max_retries), not a blocking wait.
+                yield self.env.timeout(  # lint: skip
                     self.config.retry_backoff_us * (2 ** (attempt - 1)))
 
     # ------------------------------------------------------------------- get
@@ -998,7 +1029,8 @@ class ShmemRuntime:
             try:
                 yield from link.data_mailbox.send(msg)
                 yield from remote_wait(self, pending.done,
-                                       what=f"get request {req_id}")
+                                       what=f"get request {req_id}",
+                                       peer=pe)
                 return
             except (LinkDownError, PeerUnreachableError) as exc:
                 if not self.fault_aware \
@@ -1014,7 +1046,8 @@ class ShmemRuntime:
                 # a straggler response for a retired req_id is tolerated
                 # (and dropped) by the service thread.
                 self.pending_gets.pop(req_id, None)
-            yield self.env.timeout(
+            # Bounded retry backoff (max_retries), not a blocking wait.
+            yield self.env.timeout(  # lint: skip
                 self.config.retry_backoff_us * (2 ** (attempt - 1)))
 
     # ------------------------------------------------------------------- amo
@@ -1100,14 +1133,16 @@ class ShmemRuntime:
                     ) from exc
                 attempt += 1
                 self.retries += 1
-                yield self.env.timeout(
+                # Bounded retry backoff (max_retries), not a blocking wait.
+                yield self.env.timeout(  # lint: skip
                     self.config.retry_backoff_us * (2 ** (attempt - 1)))
                 continue
             try:
                 # A reply lost *after* the send may mean the atomic was
                 # applied: never retry past this point (at-most-once).
                 old = yield from remote_wait(self, pending.done,
-                                             what=f"amo request {req_id}")
+                                             what=f"amo request {req_id}",
+                                             peer=pe)
                 return old
             finally:
                 self.pending_amos.pop(req_id, None)
@@ -1184,18 +1219,21 @@ class ShmemRuntime:
             handle = self._nbi_handles.pop()
             if handle.is_alive:
                 yield handle
-        while True:
-            busy = [
-                link for link in self.links.values()
-                if not link.data_mailbox.idle or not link.bypass_mailbox.idle
-            ]
-            if not busy and not self.pending_gets and not self.pending_amos:
-                if self.san is not None:
-                    self.san.quiet(self.my_pe_id)
-                return
-            # Poll cheaply: ACK top halves run at interrupt time, so a
-            # short sleep is enough to see progress.
-            yield self.env.timeout(1.0)
+        with self.blocked_on("quiet"):
+            while True:
+                busy = [
+                    link for link in self.links.values()
+                    if not link.data_mailbox.idle
+                    or not link.bypass_mailbox.idle
+                ]
+                if not busy and not self.pending_gets \
+                        and not self.pending_amos:
+                    if self.san is not None:
+                        self.san.quiet(self.my_pe_id)
+                    return
+                # Poll cheaply: ACK top halves run at interrupt time, so a
+                # short sleep is enough to see progress.
+                yield self.env.timeout(1.0)
 
     def forwarding_quiesce(self) -> Generator:
         """Wait until this host's store-and-forward pipeline is empty.
@@ -1207,8 +1245,9 @@ class ShmemRuntime:
         ``quiet`` is not enough).
         """
         assert self.service is not None
-        while not self.service.quiescent:
-            yield self.env.timeout(1.0)
+        with self.blocked_on("forwarding-quiesce"):
+            while not self.service.quiescent:
+                yield self.env.timeout(1.0)
 
     def barrier_all(self) -> Generator:
         """``shmem_barrier_all()`` — quiesce, then run the strategy."""

@@ -137,9 +137,10 @@ class ShmemService:
 
     def stop(self) -> Generator:
         # Let in-flight forwards/responders drain before killing the thread.
-        while (self.active_forwards or self.active_responders
-               or self.active_acks or self._work):
-            yield self.env.timeout(1.0)
+        with self.rt.blocked_on("service-stop"):
+            while (self.active_forwards or self.active_responders
+                   or self.active_acks or self._work):
+                yield self.env.timeout(1.0)
         self.thread.stop()
         yield self.thread.join()
         self.rt.host.free_pinned(self._staging)

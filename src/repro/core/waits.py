@@ -31,7 +31,8 @@ __all__ = ["remote_wait"]
 
 def remote_wait(rt: "ShmemRuntime", event: Event, *, what: str,
                 doomed: Optional[Callable[[], Optional[BaseException]]] = None,
-                timeout_us: Optional[float] = None) -> Generator:
+                timeout_us: Optional[float] = None,
+                peer: Optional[int] = None) -> Generator:
     """Wait for ``event``, bounded by link death and an optional deadline.
 
     Parameters
@@ -50,10 +51,33 @@ def remote_wait(rt: "ShmemRuntime", event: Event, *, what: str,
     timeout_us:
         Deadline relative to entry; defaults to the runtime's
         ``reply_timeout_us`` (``None`` disables the deadline).
+    peer:
+        The PE that must act for this wait to complete, when known.
+        Feeds the wait-for graph's deadlock detector under ShmemCheck;
+        ``None`` registers a targetless wait (liveness checks only).
 
     Returns the event's value; raises :class:`PeerUnreachableError` on
     deadline expiry or a ``doomed`` verdict.
     """
+    graph = rt.wait_graph
+    if graph is None:
+        value = yield from _remote_wait_inner(rt, event, what, doomed,
+                                              timeout_us)
+        return value
+    token = graph.block(rt.my_pe_id, what=what, peer=peer,
+                        since=rt.env.now)
+    try:
+        value = yield from _remote_wait_inner(rt, event, what, doomed,
+                                              timeout_us)
+        return value
+    finally:
+        graph.unblock(token)
+
+
+def _remote_wait_inner(
+        rt: "ShmemRuntime", event: Event, what: str,
+        doomed: Optional[Callable[[], Optional[BaseException]]],
+        timeout_us: Optional[float]) -> Generator:
     if not rt.fault_aware:
         value = yield event
         return value

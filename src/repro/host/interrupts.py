@@ -14,6 +14,7 @@ doorbell work per wake.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Optional
 
 from ..sim import Environment, Tracer
@@ -106,7 +107,12 @@ class InterruptController:
     def _schedule_delivery(self, vector: int) -> None:
         self._in_flight[vector] = self._in_flight.get(vector, 0) + 1
         timeout = self.env.timeout(self.delivery_latency_us)
-        timeout.callbacks.append(lambda _evt: self._deliver(vector))
+        # A partial of the bound method (not a closure) keeps the delivery
+        # step attributable to this controller's host for schedule analysis.
+        timeout.callbacks.append(functools.partial(self._deliver_cb, vector))
+
+    def _deliver_cb(self, vector: int, _evt: object) -> None:
+        self._deliver(vector)
 
     def _deliver(self, vector: int) -> None:
         count = self._in_flight.get(vector, 0)

@@ -90,6 +90,10 @@ class PhysicalMemory:
         self._data = np.zeros(size, dtype=np.uint8) if fill == 0 \
             else np.full(size, fill, dtype=np.uint8)
         self._regions: dict[str, Region] = {}
+        #: optional access probe installed by analysis tooling; receives
+        #: ``(("mem", name, page), is_write)`` per 4 KiB page touched.
+        #: ``None`` (the default) costs one attribute test per access.
+        self.probe = None
 
     # -- region bookkeeping ---------------------------------------------------
     def add_region(self, name: str, base: int, size: int,
@@ -124,6 +128,13 @@ class PhysicalMemory:
         return iter(self._regions.values())
 
     # -- raw access ------------------------------------------------------------
+    def _probe_range(self, addr: int, nbytes: int, is_write: bool) -> None:
+        probe = self.probe
+        if probe is None or nbytes <= 0:
+            return
+        for page in range(addr >> 12, ((addr + nbytes - 1) >> 12) + 1):
+            probe(("mem", self.name, page), is_write)
+
     def _check(self, addr: int, nbytes: int) -> None:
         if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
             raise AccessFault(
@@ -134,10 +145,12 @@ class PhysicalMemory:
     def read(self, addr: int, nbytes: int) -> np.ndarray:
         """Copy ``nbytes`` starting at ``addr`` (uint8 array)."""
         self._check(addr, nbytes)
+        self._probe_range(addr, nbytes, False)
         return self._data[addr:addr + nbytes].copy()
 
     def read_bytes(self, addr: int, nbytes: int) -> bytes:
         self._check(addr, nbytes)
+        self._probe_range(addr, nbytes, False)
         return self._data[addr:addr + nbytes].tobytes()
 
     def write(self, addr: int, data: BytesLike) -> int:
@@ -146,39 +159,49 @@ class PhysicalMemory:
             if not isinstance(data, np.ndarray) else data.view(np.uint8).reshape(-1)
         nbytes = buf.size
         self._check(addr, nbytes)
+        self._probe_range(addr, nbytes, True)
         self._data[addr:addr + nbytes] = buf
         return nbytes
 
     def fill(self, addr: int, nbytes: int, value: int) -> None:
         self._check(addr, nbytes)
+        self._probe_range(addr, nbytes, True)
         self._data[addr:addr + nbytes] = np.uint8(value)
 
     def view(self, addr: int, nbytes: int) -> np.ndarray:
         """Zero-copy mutable view (caller must not hold across resizes)."""
         self._check(addr, nbytes)
+        # A mutable view may be written through: treat as a write.
+        self._probe_range(addr, nbytes, True)
         return self._data[addr:addr + nbytes]
 
     # -- typed helpers (register-style accesses) -------------------------------
     def read_u32(self, addr: int) -> int:
         self._check(addr, 4)
+        self._probe_range(addr, 4, False)
         return int(self._data[addr:addr + 4].view(np.uint32)[0])
 
     def write_u32(self, addr: int, value: int) -> None:
         self._check(addr, 4)
+        self._probe_range(addr, 4, True)
         self._data[addr:addr + 4].view(np.uint32)[0] = np.uint32(value & 0xFFFFFFFF)
 
     def read_u64(self, addr: int) -> int:
         self._check(addr, 8)
+        self._probe_range(addr, 8, False)
         return int(self._data[addr:addr + 8].view(np.uint64)[0])
 
     def write_u64(self, addr: int, value: int) -> None:
         self._check(addr, 8)
+        self._probe_range(addr, 8, True)
         self._data[addr:addr + 8].view(np.uint64)[0] = np.uint64(value)
 
     def copy_within(self, src: int, dst: int, nbytes: int) -> None:
         """memmove-style local copy handling overlap correctly."""
         self._check(src, nbytes)
         self._check(dst, nbytes)
+        self._probe_range(src, nbytes, False)
+        self._probe_range(dst, nbytes, True)
         chunk = self._data[src:src + nbytes].copy()
         self._data[dst:dst + nbytes] = chunk
 

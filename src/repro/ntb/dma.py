@@ -351,11 +351,18 @@ class DmaEngine:
                     "bytes"
                 )
             take = min(chunk_size, nbytes - offset)
+            # Stage names carry the owning component so schedule analysis
+            # can attribute each resumption (ports belong to their host,
+            # the wire and pump stages to this engine's host).
             stages = [
-                self.env.process(src_port.hold(take)),
-                self.env.process(link.transfer(take, propagate=False)),
-                self.env.process(dst_port.hold(take)),
-                self.env.process(self._pump.hold(take)),
+                self.env.process(src_port.hold(take),
+                                 name=f"{src_port.name}.hold"),
+                self.env.process(link.transfer(take, propagate=False),
+                                 name=f"{self.name}.wire"),
+                self.env.process(dst_port.hold(take),
+                                 name=f"{dst_port.name}.hold"),
+                self.env.process(self._pump.hold(take),
+                                 name=f"{self._pump.name}.hold"),
             ]
             # Parent the wire-occupancy span (opened inside the spawned
             # link stage) under this request's engine span.

@@ -60,6 +60,14 @@ class DoorbellRegister:
         #: lifetime counts (diagnostics)
         self.set_count = 0
         self.interrupt_count = 0
+        #: optional access probe ``probe(key, is_write)`` — ShmemCheck
+        #: installs one to build per-step footprints for DPOR; None (the
+        #: default) costs a single attribute test per access.
+        self.probe: Optional[Callable[[tuple, bool], None]] = None
+
+    def _probe(self, is_write: bool) -> None:
+        if self.probe is not None:
+            self.probe(("db", self.name), is_write)
 
     @staticmethod
     def _check_bit(bit: int) -> None:
@@ -77,29 +85,35 @@ class DoorbellRegister:
 
     def is_pending(self, bit: int) -> bool:
         self._check_bit(bit)
+        self._probe(False)
         return bool(self._pending & (1 << bit))
 
     def clear(self, bit: int) -> None:
         """W1C-style clear of one pending bit."""
         self._check_bit(bit)
+        self._probe(True)
         self._pending &= ~(1 << bit)
 
     def clear_bits(self, bits: int) -> None:
+        self._probe(True)
         self._pending &= ~(bits & _FULL_MASK)
 
     def drain(self) -> int:
         """Atomically read-and-clear all pending bits (ISR entry)."""
+        self._probe(True)
         bits, self._pending = self._pending, 0
         return bits
 
     def set_mask(self, bit: int) -> None:
         """Mask a bit: it may still latch but will not interrupt."""
         self._check_bit(bit)
+        self._probe(True)
         self._mask |= 1 << bit
 
     def clear_mask(self, bit: int) -> None:
         """Unmask a bit; if it latched while masked, fire now (level)."""
         self._check_bit(bit)
+        self._probe(True)
         was_pending = self._pending & (1 << bit)
         self._mask &= ~(1 << bit)
         if was_pending:
@@ -113,6 +127,7 @@ class DoorbellRegister:
         # under the sender's doorbell_ring span.
         self.scope.instant("doorbell_latch", category="driver",
                            track=self.name, bit=bit)
+        self._probe(True)
         flag = 1 << bit
         already = self._pending & flag
         self._pending |= flag

@@ -16,6 +16,7 @@ the appropriate :class:`~repro.host.CostModel` cost:
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Generator, Sequence
 
 import numpy as np
@@ -199,10 +200,17 @@ class NtbDriver:
         def top_half(_vector: int) -> None:
             delay = self.host.cost_model.isr_entry_us
             timeout = self.host.env.timeout(delay)
-            timeout.callbacks.append(lambda _evt: callback(bit))
+            # Partial of a bound method so the bottom-half step stays
+            # attributable to this driver's host for schedule analysis.
+            timeout.callbacks.append(
+                functools.partial(self._run_bottom_half, callback, bit))
 
         self.host.interrupts.register(vector, top_half)
         self._irq_handlers[bit] = callback
+
+    def _run_bottom_half(self, callback: Callable[[int], None], bit: int,
+                         _evt: object) -> None:
+        callback(bit)
 
     # -- PIO (the paper's "memcpy" path) ---------------------------------------------
     def pio_window_write(self, window_index: int, offset: int,

@@ -56,6 +56,10 @@ class ScratchpadFile:
         self.changed = Signal(env, name=f"{name}.changed")
         #: lifetime write count (diagnostics)
         self.write_count = 0
+        #: optional access probe ``probe(key, is_write)`` — ShmemCheck
+        #: installs one to build per-step footprints for DPOR; None (the
+        #: default) costs a single attribute test per access.
+        self.probe = None
 
     def _check_index(self, index: int) -> None:
         if not (0 <= index < self.count):
@@ -65,17 +69,24 @@ class ScratchpadFile:
 
     def read(self, index: int) -> int:
         self._check_index(index)
+        if self.probe is not None:
+            self.probe(("spad", self.name, index), False)
         return self._regs[index]
 
     def write(self, index: int, value: int) -> None:
         self._check_index(index)
         if not isinstance(value, int):
             raise ScratchpadError(f"{self.name}: non-integer value {value!r}")
+        if self.probe is not None:
+            self.probe(("spad", self.name, index), True)
         self._regs[index] = value & 0xFFFFFFFF
         self.write_count += 1
         self.changed.fire((index, self._regs[index]))
 
     def read_all(self) -> tuple[int, ...]:
+        if self.probe is not None:
+            for index in range(self.count):
+                self.probe(("spad", self.name, index), False)
         return tuple(self._regs)
 
     def write_block(self, start: int, values: list[int]) -> None:
@@ -94,10 +105,15 @@ class ScratchpadFile:
                 f"{self.name}: block [{start}, {start + count}) "
                 f"outside register file"
             )
+        if self.probe is not None:
+            for index in range(start, start + count):
+                self.probe(("spad", self.name, index), False)
         return tuple(self._regs[start:start + count])
 
     def clear(self) -> None:
         for index in range(self.count):
+            if self.probe is not None:
+                self.probe(("spad", self.name, index), True)
             self._regs[index] = 0
         self.changed.fire(None)
 

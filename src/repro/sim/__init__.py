@@ -19,6 +19,7 @@ from .core import (
     Event,
     Process,
     ProcessGenerator,
+    SchedulePolicy,
     Timeout,
 )
 from .errors import (
@@ -40,6 +41,7 @@ __all__ = [
     "Event",
     "Process",
     "ProcessGenerator",
+    "SchedulePolicy",
     "Timeout",
     "EventLifecycleError",
     "Interrupt",

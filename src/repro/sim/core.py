@@ -50,6 +50,7 @@ __all__ = [
     "URGENT",
     "Environment",
     "Event",
+    "SchedulePolicy",
     "Timeout",
     "Process",
     "ProcessGenerator",
@@ -66,6 +67,47 @@ NORMAL = 1
 URGENT = 0
 
 ProcessGenerator = Generator["Event", Any, Any]
+
+
+class SchedulePolicy:
+    """Pluggable tie-break for events scheduled at the same instant.
+
+    The event heap is keyed by ``(time, priority, sequence)``.  With no
+    policy installed (the default), ties resolve in ``sequence`` order —
+    schedule order — and :meth:`Environment.step` takes a fast path that
+    never materializes the tie set, so ordinary runs stay byte-identical.
+
+    A policy turns every tie into an explicit *decision point*: the kernel
+    collects all queue entries sharing the head's ``(time, priority)`` and
+    asks :meth:`choose` which one to process next.  The unchosen entries go
+    back on the heap with their original sequence numbers, so a policy that
+    always answers ``0`` reproduces the default order exactly.  This is the
+    seam :mod:`repro.check` (ShmemCheck) uses to enumerate interleavings.
+
+    :meth:`scheduled` is invoked for every heap push while a policy is
+    installed — the hook model checkers use to attribute newly scheduled
+    events to the step that created them.
+    """
+
+    def choose(self, now: float, priority: int,
+               candidates: "list[Event]") -> int:
+        """Return the index (into ``candidates``) of the event to run next.
+
+        ``candidates`` is ordered by sequence number (schedule order) and
+        always has length >= 2; singleton pops never reach the policy.
+        """
+        return 0
+
+    def scheduled(self, now: float, priority: int, event: "Event") -> None:
+        """Called after ``event`` is pushed onto the heap (any push site)."""
+
+    def accessed(self, key: object, is_write: bool) -> None:
+        """Shared-state access hook (resources, stores, hardware models).
+
+        Instrumented state containers report mutations/reads of their
+        internal state here so a model checker can build per-step
+        footprints; the default policy ignores them.
+        """
 
 
 class Event:
@@ -125,6 +167,8 @@ class Event:
         self._value = value
         env = self.env
         _heappush(env._queue, (env._now, priority, next(env._eid), self))
+        if env._policy is not None:
+            env._policy.scheduled(env._now, priority, self)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -178,6 +222,8 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         _heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
+        if env._policy is not None:
+            env._policy.scheduled(env._now + delay, NORMAL, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay}>"
@@ -334,11 +380,13 @@ class Environment:
     concurrency in the models is cooperative.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 schedule_policy: Optional[SchedulePolicy] = None):
         self._now: float = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._policy: Optional[SchedulePolicy] = schedule_policy
         #: Hooks called as ``hook(env, event)`` just before callbacks run.
         self.step_hooks: list[Callable[["Environment", Event], None]] = []
 
@@ -352,6 +400,15 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def schedule_policy(self) -> Optional[SchedulePolicy]:
+        """The installed tie-break policy (``None`` = sequence order)."""
+        return self._policy
+
+    @schedule_policy.setter
+    def schedule_policy(self, policy: Optional[SchedulePolicy]) -> None:
+        self._policy = policy
 
     # -- event creation ------------------------------------------------------
     def event(self) -> Event:
@@ -386,17 +443,44 @@ class Environment:
         _heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
+        if self._policy is not None:
+            self._policy.scheduled(self._now + delay, priority, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    def _policy_pop(self) -> tuple[float, int, int, Event]:
+        """Pop the next entry, letting the policy break (time, prio) ties."""
+        queue = self._queue
+        head = _heappop(queue)
+        when, prio = head[0], head[1]
+        if not queue or queue[0][0] != when or queue[0][1] != prio:
+            return head
+        candidates = [head]
+        while queue and queue[0][0] == when and queue[0][1] == prio:
+            candidates.append(_heappop(queue))
+        assert self._policy is not None
+        index = self._policy.choose(when, prio, [c[3] for c in candidates])
+        if not 0 <= index < len(candidates):
+            raise SchedulingError(
+                f"schedule policy chose index {index} out of "
+                f"{len(candidates)} candidates"
+            )
+        chosen = candidates.pop(index)
+        for entry in candidates:
+            _heappush(queue, entry)
+        return chosen
 
     def step(self) -> None:
         """Process exactly one event, advancing virtual time to it."""
         queue = self._queue
         if not queue:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _eid, event = _heappop(queue)
+        if self._policy is None:
+            when, _prio, _eid, event = _heappop(queue)
+        else:
+            when, _prio, _eid, event = self._policy_pop()
         self._now = when
         if self.step_hooks:
             for hook in self.step_hooks:

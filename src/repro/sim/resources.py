@@ -68,7 +68,15 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiting)
 
+    def _probe(self) -> None:
+        # Grant/queue order is shared state an exploring scheduler must
+        # treat as a conflict between steps; the default policy ignores it.
+        policy = self.env.schedule_policy
+        if policy is not None:
+            policy.accessed(("resource", self.name), True)
+
     def request(self) -> Request:
+        self._probe()
         req = Request(self)
         if len(self._holders) < self.capacity:
             self._holders.add(req)
@@ -79,6 +87,7 @@ class Resource:
         return req
 
     def release(self, request: Request) -> None:
+        self._probe()
         if request in self._holders:
             self._holders.remove(request)
         elif request in self._waiting:
@@ -125,8 +134,16 @@ class Store(Generic[T]):
         """Snapshot of queued items (read-only diagnostics)."""
         return tuple(self._items)
 
+    def _probe(self) -> None:
+        # FIFO order is shared state for an exploring scheduler (see
+        # Resource._probe); the default policy ignores the report.
+        policy = self.env.schedule_policy
+        if policy is not None:
+            policy.accessed(("store", self.name), True)
+
     def put(self, item: T) -> Event:
         """Insert ``item``; the returned event triggers once it is stored."""
+        self._probe()
         evt = self.env.event()
         self.put_count += 1
         if self._getters:
@@ -144,6 +161,7 @@ class Store(Generic[T]):
 
     def try_put(self, item: T) -> bool:
         """Non-blocking put; returns False when the store is full."""
+        self._probe()
         if self._getters:
             getter = self._getters.popleft()
             self.put_count += 1
@@ -158,6 +176,7 @@ class Store(Generic[T]):
 
     def get(self) -> Event:
         """Remove and return the oldest item; blocks (as an event) if empty."""
+        self._probe()
         evt = self.env.event()
         if self._items:
             self.get_count += 1
@@ -169,6 +188,7 @@ class Store(Generic[T]):
 
     def try_get(self) -> tuple[bool, Optional[T]]:
         """Non-blocking get; returns ``(False, None)`` when empty."""
+        self._probe()
         if not self._items:
             return False, None
         self.get_count += 1

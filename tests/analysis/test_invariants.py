@@ -137,6 +137,34 @@ def test_clean_doorbell():
     assert check_doorbell(doorbell, "host1.left") == []
 
 
+def test_only_masked_pending_bits_reported():
+    # Mixed state: bit 2 latched behind the mask (lost), bit 5 latched
+    # but unmasked (delivery in progress).  Only the lost one counts.
+    env = Environment()
+    doorbell = DoorbellRegister(env, name="db")
+    doorbell.set_mask(2)
+    doorbell.latch(2)
+    doorbell.latch(5)
+    violations = check_doorbell(doorbell, "host1.left")
+    assert [v.rule for v in violations] == ["doorbell-write-while-pending"]
+    assert "[2]" in violations[0].detail
+    assert "5" not in violations[0].detail.split("latched")[0]
+
+
+def test_zero_size_enabled_window_flagged():
+    # program() refuses size <= 0, so forge the state a buggy driver
+    # could reach by poking registers directly: enabled with no range.
+    window = IncomingTranslation(window_index=0)
+    window.translation_address = 0x1000
+    window.translation_size = 0
+    window.enabled = True
+    violations = check_endpoint_windows(
+        _FakeEndpoint([window]), "host0.right"
+    )
+    assert [v.rule for v in violations] == ["window-overlap"]
+    assert "non-positive size" in violations[0].detail
+
+
 # ----------------------------------------------------------------- cluster walk
 def test_check_cluster_clean_after_real_run():
     def main(pe):
@@ -231,6 +259,42 @@ def test_sanitized_traced_run_audits_span_balance():
     assert report.scope is not None
     assert report.scope.open_spans() == []
     assert report.scope.pending_bindings() == 0
+
+
+# ----------------------------------------------------- under fault injection
+def test_hardware_invariants_hold_after_sever_and_recovery():
+    """A mid-run sever must not leave the NTB hardware models wedged:
+    no doorbell latched behind its mask, no aliasing windows, no stale
+    DMA descriptors.  Span balance is exempt under faults — an in-flight
+    message eaten by the cut legitimately never reaches its decoder."""
+    from repro.core import PeerUnreachableError
+    from repro.faults import FaultPlan, SeverCable
+
+    from ..conftest import pattern
+
+    plan = FaultPlan(events=(SeverCable(3_000.0, 0, 1),))
+    config = ShmemConfig(faults=plan, max_retries=8,
+                         retry_backoff_us=200.0)
+
+    def main(pe):
+        me, n = pe.my_pe(), pe.num_pes()
+        sym = yield from pe.malloc(256)
+        for rnd in range(3):
+            try:
+                yield from pe.put_array(
+                    sym, pattern(256, seed=rnd), (me + 1) % n)
+            except PeerUnreachableError:
+                pass
+            yield from pe.barrier_all()
+            yield pe.rt.env.timeout(2_500.0)
+        return True
+
+    report = run_spmd(main, 3, shmem_config=config,
+                      check_heap_consistency=False)
+    assert report.results == [True, True, True]
+    hardware = [v for v in check_cluster(report.cluster, strict=False)
+                if v.rule != "span-unbalanced"]
+    assert hardware == []
 
 
 def test_render_violations():

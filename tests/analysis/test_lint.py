@@ -175,6 +175,66 @@ def test_local_rendezvous_suppressed_with_marker(tmp_path):
     assert lint_file(path) == []
 
 
+def test_contextmanager_bare_yield_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/ok.py",
+        "from contextlib import contextmanager\n"
+        "@contextmanager\n"
+        "def shadowed(target):\n"
+        "    original = target.method\n"
+        "    try:\n"
+        "        yield\n"
+        "    finally:\n"
+        "        target.method = original\n",
+    )
+    assert lint_file(path) == []
+
+
+# ------------------------------------------------------ rule: registered-wait
+def test_spin_loop_without_registration_flagged(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/bad.py",
+        "def poll(rt, cell):\n"
+        "    while cell.value == 0:\n"
+        "        yield rt.env.timeout(5.0)\n",
+    )
+    issues = lint_file(path)
+    assert [issue.rule for issue in issues] == ["registered-wait"]
+    assert issues[0].line == 3
+
+
+def test_spin_loop_with_wait_graph_registration_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/ok.py",
+        "def poll(rt, cell, resource):\n"
+        "    with rt.wait_graph.blocked_on(rt.my_pe_id, resource):\n"
+        "        while cell.value == 0:\n"
+        "            yield rt.env.timeout(5.0)\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_spin_loop_outside_core_allowed(tmp_path):
+    path = _write(
+        tmp_path, "repro/fabric/fine.py",
+        "def poll(rt, cell):\n"
+        "    while cell.value == 0:\n"
+        "        yield rt.env.timeout(5.0)\n",
+    )
+    assert lint_file(path) == []
+
+
+def test_bounded_retry_suppressed_with_marker(tmp_path):
+    path = _write(
+        tmp_path, "repro/core/ok.py",
+        "def retry(rt, attempts):\n"
+        "    while attempts < 8:\n"
+        "        yield rt.env.timeout(50.0)  # lint: skip\n"
+        "        attempts += 1\n",
+    )
+    assert lint_file(path) == []
+
+
 # ------------------------------------------------------ rule: span-discipline
 def test_raw_span_open_flagged_outside_obsv(tmp_path):
     path = _write(

@@ -1,0 +1,128 @@
+"""The DPOR independence oracle: conflict rules and domain attribution."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.check.footprint import Footprint, domains_of
+from repro.sim import Environment
+
+
+def _fp(reads=(), writes=(), domains=(), opaque=False):
+    fp = Footprint()
+    for key in reads:
+        fp.note(key, False)
+    for key in writes:
+        fp.note(key, True)
+    fp.add_domains(set(domains), opaque)
+    return fp
+
+
+# ------------------------------------------------------------- conflict rules
+def test_disjoint_steps_commute():
+    a = _fp(writes=[("db", "x")], domains=["proc:pe0.main"])
+    b = _fp(writes=[("db", "y")], domains=["proc:pe1.main"])
+    assert not a.conflicts(b)
+    assert not b.conflicts(a)
+
+
+def test_shared_domain_conflicts():
+    a = _fp(domains=["proc:pe0.main"])
+    b = _fp(domains=["proc:pe0.main", "proc:pe1.main"])
+    assert a.conflicts(b)
+
+
+def test_write_write_conflicts():
+    key = ("spad", "host0.right", 3)
+    assert _fp(writes=[key]).conflicts(_fp(writes=[key]))
+
+
+def test_write_read_conflicts_both_ways():
+    key = ("cell", 0, 8)
+    assert _fp(writes=[key]).conflicts(_fp(reads=[key]))
+    assert _fp(reads=[key]).conflicts(_fp(writes=[key]))
+
+
+def test_read_read_commutes():
+    key = ("mem", "host0.memory", 2)
+    assert not _fp(reads=[key]).conflicts(_fp(reads=[key]))
+
+
+def test_opaque_conflicts_with_everything():
+    assert _fp(opaque=True).conflicts(_fp())
+    assert _fp().conflicts(_fp(opaque=True))
+
+
+# --------------------------------------------------------- domain attribution
+class _Device:
+    def __init__(self, name):
+        self.name = name
+
+    def on_event(self, _evt):
+        pass
+
+
+def test_named_process_resolves_to_proc_domain():
+    env = Environment()
+
+    def body():
+        yield env.timeout(1.0)
+
+    process = env.process(body(), name="pe0.main")
+    domains, opaque = domains_of(process)
+    assert domains == {"proc:pe0.main"}
+    assert not opaque
+
+
+def test_unnamed_process_falls_back_to_generator_name():
+    env = Environment()
+
+    def body():
+        yield env.timeout(1.0)
+
+    domains, opaque = domains_of(env.process(body()))
+    assert domains == {"proc:body"}
+    assert not opaque
+
+
+def test_bound_method_callback_resolves_to_object_domain():
+    env = Environment()
+    event = env.event()
+    event.callbacks.append(_Device("host0.pic").on_event)
+    domains, opaque = domains_of(event)
+    assert domains == {"obj:host0.pic"}
+    assert not opaque
+
+
+def test_partial_wrapping_is_unwrapped():
+    env = Environment()
+    event = env.event()
+    device = _Device("host1.ntb.left")
+    event.callbacks.append(functools.partial(device.on_event))
+    domains, opaque = domains_of(event)
+    assert domains == {"obj:host1.ntb.left"}
+    assert not opaque
+
+
+def test_plain_function_callback_is_opaque():
+    env = Environment()
+    event = env.event()
+    event.callbacks.append(lambda _evt: None)
+    _domains, opaque = domains_of(event)
+    assert opaque
+
+
+def test_condition_notification_is_commutative():
+    # Notifying an AllOf with a child completion either decrements its
+    # private counter (commutative) or schedules the trigger, which the
+    # policy's `scheduled` hook attributes dynamically — the static walk
+    # must not charge this step with the subscriber's domain.
+    env = Environment()
+    child = env.event()
+    other = env.event()
+    from repro.sim import AllOf
+    condition = AllOf(env, [child, other])
+    domains, opaque = domains_of(child)
+    assert not opaque
+    assert domains == set()
+    assert condition is not None  # keep the subscription alive

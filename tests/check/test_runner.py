@@ -1,0 +1,77 @@
+"""One-schedule execution: determinism, checkers, fault semantics."""
+
+from __future__ import annotations
+
+from repro.check.models import MODELS
+from repro.check.runner import CheckSettings, run_schedule
+from repro.check.trace import FaultPoint, ScheduleTrace
+
+
+def test_default_schedule_runs_clean():
+    outcome = run_schedule(MODELS["lock"], ScheduleTrace())
+    assert outcome.ok
+    assert outcome.completed
+    assert outcome.results == [2, 2]
+
+
+def test_reexecution_is_deterministic():
+    first = run_schedule(MODELS["lock"], ScheduleTrace())
+    second = run_schedule(MODELS["lock"], ScheduleTrace())
+    assert first.policy.recorded == second.policy.recorded
+    assert first.steps == second.steps
+    assert first.elapsed_us == second.elapsed_us
+    assert [(d.time, d.n_candidates) for d in first.policy.decisions] == \
+        [(d.time, d.n_candidates) for d in second.policy.decisions]
+
+
+def test_forced_prefix_replays_exactly():
+    root = run_schedule(MODELS["lock"], ScheduleTrace())
+    trace = root.replay_trace()
+    replay = run_schedule(MODELS["lock"], trace)
+    assert not replay.policy.diverged
+    assert replay.policy.recorded == root.policy.recorded
+    assert replay.steps == root.steps
+
+
+def test_out_of_range_choice_flags_divergence():
+    outcome = run_schedule(MODELS["lock"], ScheduleTrace(choices=(99,)))
+    assert outcome.policy.diverged
+
+
+def test_deadlock_demo_names_the_cycle():
+    outcome = run_schedule(MODELS["deadlock-demo"], ScheduleTrace())
+    kinds = {v.kind for v in outcome.violations}
+    assert "deadlock-cycle" in kinds
+    cycle = next(v for v in outcome.violations
+                 if v.kind == "deadlock-cycle")
+    assert "wait-for cycle" in cycle.detail
+    assert cycle.blocked  # the two blocked set_lock waiters are listed
+
+
+def test_fault_branch_recovers_clean():
+    model = MODELS["barrier-recovery"]
+    root = run_schedule(model, ScheduleTrace())
+    assert root.ok
+    # Sever mid-workload (inside the model's fault window): the ring
+    # must reroute and the strict post-recovery round must still pass.
+    window = model.fault_window_us
+    eligible = [d.index for d in root.policy.decisions
+                if window[0] <= d.time <= window[1]]
+    assert eligible, "fault window matches no decisions"
+    middle = eligible[len(eligible) // 2]
+    faulted = run_schedule(model, ScheduleTrace(
+        choices=root.policy.recorded[:middle],
+        fault=FaultPoint(decision=middle, edge=(0, 1)),
+    ))
+    assert faulted.ok, [v.describe() for v in faulted.violations]
+    assert faulted.completed
+
+
+def test_horizon_violation_reported():
+    # An absurdly small virtual-time horizon turns the healthy lock
+    # model into a liveness finding — the checker, not a hang.
+    outcome = run_schedule(
+        MODELS["lock"], ScheduleTrace(),
+        CheckSettings(horizon_us=5.0),
+    )
+    assert any(v.kind == "liveness-horizon" for v in outcome.violations)

@@ -1,0 +1,61 @@
+"""Schedule traces: JSON round-trip, shrinking, counterexample files."""
+
+from __future__ import annotations
+
+from repro.check.trace import Counterexample, FaultPoint, ScheduleTrace
+
+
+def test_trace_json_round_trip():
+    trace = ScheduleTrace(choices=(0, 2, 1))
+    assert ScheduleTrace.from_json(trace.to_json()) == trace
+
+
+def test_fault_trace_json_round_trip():
+    trace = ScheduleTrace(
+        choices=(1, 0),
+        fault=FaultPoint(decision=2, edge=(0, 1)),
+    )
+    restored = ScheduleTrace.from_json(trace.to_json())
+    assert restored == trace
+    assert restored.fault.kind == "sever"
+
+
+def test_empty_trace_round_trip():
+    assert ScheduleTrace.from_json({}) == ScheduleTrace()
+
+
+def test_shrunk_drops_trailing_defaults():
+    assert ScheduleTrace(choices=(0, 1, 0, 0)).shrunk() == \
+        ScheduleTrace(choices=(0, 1))
+    assert ScheduleTrace(choices=(0, 0)).shrunk() == ScheduleTrace()
+
+
+def test_shrunk_keeps_fault_decision_reachable():
+    # The fault fires when the scheduler reaches decision 3: the prefix
+    # may not shrink below it even though the choices are all defaults.
+    trace = ScheduleTrace(
+        choices=(0, 0, 0, 0, 0),
+        fault=FaultPoint(decision=3, edge=(1, 2)),
+    )
+    assert trace.shrunk().choices == (0, 0, 0)
+
+
+def test_shrunk_is_identity_when_nothing_to_drop():
+    trace = ScheduleTrace(choices=(0, 1))
+    assert trace.shrunk() is trace
+
+
+def test_counterexample_dumps_loads():
+    cex = Counterexample(
+        model="lock",
+        trace=ScheduleTrace(choices=(1,),
+                            fault=FaultPoint(decision=1, edge=(0, 1))),
+        kind="deadlock-cycle",
+        detail="wait-for cycle over PEs [1, 0]",
+        mutation="lost-doorbell",
+        time_us=123.5,
+        blocked=["PE 0: set_lock"],
+        open_spans=["pe0:set_lock"],
+    )
+    restored = Counterexample.loads(cex.dumps())
+    assert restored == cex
