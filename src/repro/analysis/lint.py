@@ -7,12 +7,14 @@ Exits non-zero when any rule fires.
 Rules
 -----
 ``wallclock``
-    The simulated layers (``sim``, ``memory``, ``pcie``, ``ntb``, ``host``,
-    ``fabric``, ``core``) must be bit-deterministic functions of the event
-    queue: importing ``time``/``random``/``datetime`` or touching
-    ``numpy.random`` there injects wall-clock or ambient entropy and breaks
-    reproducibility.  The ``bench`` CLI may measure wall time; models may
-    not.
+    Every ``repro.*`` module must be a bit-deterministic function of the
+    event queue: importing ``time``/``random``/``datetime`` or touching
+    ``numpy.random`` injects wall-clock or ambient entropy and breaks
+    reproducibility.  The only files allowed to read the host clock are
+    named in ``WALLCLOCK_EXEMPT`` — the bench CLI (which *measures* wall
+    time) and ``repro.obsv.profiler`` (the sanctioned DES wall-clock
+    profiler).  Exempt files still may not feed wall-clock values back
+    into simulated state; that is a review invariant, not a lint rule.
 
 ``bare-yield``
     Process coroutines communicate with the event kernel by yielding
@@ -81,13 +83,26 @@ from typing import Iterable, List, Optional, Sequence
 
 __all__ = ["LintIssue", "lint_file", "lint_paths", "main"]
 
-#: packages whose modules run under simulated time (the wallclock rule).
+#: packages whose modules run under simulated time.  Historically the
+#: wallclock rule covered only these; it now covers *every* repro package
+#: (see WALLCLOCK_EXEMPT), but the set is kept for the register/span rules'
+#: documentation and for callers that want the "hot" layers by name.
 SIMULATED_PACKAGES = frozenset(
     {"sim", "memory", "pcie", "ntb", "host", "fabric", "core", "faults"}
 )
 
-#: modules whose import anywhere in a simulated package is a violation.
+#: modules whose import anywhere under repro is a violation.
 WALLCLOCK_MODULES = frozenset({"time", "random", "datetime"})
+
+#: (package, filename) pairs allowed to read the host clock: the bench
+#: CLI measures wall time by design, and repro.obsv.profiler is the one
+#: sanctioned wall-clock reader over the DES dispatch loop.  Everything
+#: else in repro.* — including the rest of obsv — stays banned.
+WALLCLOCK_EXEMPT = frozenset({
+    ("obsv", "profiler.py"),
+    ("bench", "__main__.py"),
+    ("bench", "fastpath.py"),
+})
 
 #: attribute names that are NTB register state (the register-mutation rule).
 REGISTER_ATTRS = frozenset({
@@ -171,6 +186,12 @@ class _Checker(ast.NodeVisitor):
     def _in_simulated(self) -> bool:
         return self.package in SIMULATED_PACKAGES
 
+    @property
+    def _wallclock_banned(self) -> bool:
+        """True when this file may not read the host clock (almost all)."""
+        return (self.package is not None
+                and (self.package, self.path.name) not in WALLCLOCK_EXEMPT)
+
     # ------------------------------------------------- scope bookkeeping
     @staticmethod
     def _is_contextmanager(node: ast.AST) -> bool:
@@ -243,29 +264,31 @@ class _Checker(ast.NodeVisitor):
 
     # ------------------------------------------------------- rule: wallclock
     def visit_Import(self, node: ast.Import) -> None:
-        if self._in_simulated:
+        if self._wallclock_banned:
             for alias in node.names:
                 root = alias.name.split(".")[0]
                 if root in WALLCLOCK_MODULES:
                     self._emit(
                         node, "wallclock",
-                        f"import of {alias.name!r} in simulated package "
+                        f"import of {alias.name!r} in package "
                         f"{self.package!r} (wall-clock/entropy breaks "
-                        f"determinism)",
+                        f"determinism; only WALLCLOCK_EXEMPT files may "
+                        f"read the host clock)",
                     )
         self._check_fastpath_import(
             node, [alias.name for alias in node.names])
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if self._in_simulated and node.module:
+        if self._wallclock_banned and node.module:
             root = node.module.split(".")[0]
             if root in WALLCLOCK_MODULES:
                 self._emit(
                     node, "wallclock",
-                    f"import from {node.module!r} in simulated package "
+                    f"import from {node.module!r} in package "
                     f"{self.package!r} (wall-clock/entropy breaks "
-                    f"determinism)",
+                    f"determinism; only WALLCLOCK_EXEMPT files may "
+                    f"read the host clock)",
                 )
         if node.module:
             # 'from .fastpath import X' / 'from repro.core.fastpath ...'
@@ -278,12 +301,12 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         # numpy.random (np.random.*) carries ambient global RNG state.
-        if self._in_simulated and node.attr == "random":
+        if self._wallclock_banned and node.attr == "random":
             base = node.value
             if isinstance(base, ast.Name) and base.id in ("np", "numpy"):
                 self._emit(
                     node, "wallclock",
-                    "numpy.random in a simulated package uses ambient "
+                    "numpy.random in a repro package uses ambient "
                     "global RNG state; thread an explicit Generator "
                     "through the config instead",
                 )

@@ -10,6 +10,8 @@ Options::
     python -m repro.bench --smoke         # fig9-only small sizes (CI)
     python -m repro.bench --chaos         # sever-a-cable fault demo
     python -m repro.bench --chaos --chaos-seed 7   # different cut point
+    python -m repro.bench --metrics       # metered smoke + SLO evaluation
+    python -m repro.bench --metrics --check BENCH_PR7.json  # CI gate
 """
 
 from __future__ import annotations
@@ -78,15 +80,48 @@ def main(argv: list[str] | None = None) -> int:
                              "and throughput at 4KB/64KB/512KB x 1/2 hops, "
                              "inline 32B, barrier); writes BENCH_PR5.json "
                              "unless --check is given")
-    parser.add_argument("--out", metavar="PATH", default="BENCH_PR5.json",
+    parser.add_argument("--metrics", action="store_true",
+                        help="metered smoke run: mixed workload with the "
+                             "metrics ticker + DES profiler, evaluated "
+                             "against the bundled SLO ruleset; writes "
+                             "BENCH_PR7.json unless --check is given")
+    parser.add_argument("--snapshot", metavar="PATH",
+                        help="with --metrics: also write the registry "
+                             "snapshot JSON (repro-metrics/v1) for "
+                             "'python -m repro.obsv metrics'")
+    parser.add_argument("--out", metavar="PATH",
                         help="output path for --compare-fastpath "
-                             "(default: BENCH_PR5.json)")
+                             "(default: BENCH_PR5.json) or --metrics "
+                             "(default: BENCH_PR7.json)")
     parser.add_argument("--check", metavar="PATH",
-                        help="with --compare-fastpath: gate against a "
-                             "checked-in reference instead of writing; "
-                             "fails on any fastpath virtual-time metric "
+                        help="with --compare-fastpath or --metrics: gate "
+                             "against a checked-in reference instead of "
+                             "writing; fails on any virtual-time metric "
                              "regressing beyond the recorded tolerance")
     args = parser.parse_args(argv)
+
+    if args.metrics:
+        from .experiments.metrics import check_against as metrics_check, \
+            run_metrics_smoke
+
+        t0 = time.perf_counter()
+        result = run_metrics_smoke()
+        print(result.render())
+        print(f"\nwall time: {time.perf_counter() - t0:.1f}s; "
+              "latencies/counters are virtual-time measurements")
+        if args.snapshot:
+            result.write_snapshot(args.snapshot)
+            print(f"wrote metrics snapshot to {args.snapshot} "
+                  f"(inspect with 'python -m repro.obsv metrics "
+                  f"{args.snapshot}')")
+        if args.check:
+            check = metrics_check(result, args.check)
+            print(check.render())
+            return 0 if check.ok and result.ok else 1
+        out = args.out or "BENCH_PR7.json"
+        result.write(out)
+        print(f"wrote {out}")
+        return 0 if result.ok else 1
 
     if args.compare_fastpath:
         from .experiments.fastpath import check_against, \
@@ -101,8 +136,9 @@ def main(argv: list[str] | None = None) -> int:
             check = check_against(result, args.check)
             print(check.render())
             return 0 if check.ok and result.targets_pass else 1
-        result.write(args.out)
-        print(f"wrote {args.out}")
+        out = args.out or "BENCH_PR5.json"
+        result.write(out)
+        print(f"wrote {out}")
         return 0 if result.targets_pass else 1
 
     if args.chaos:

@@ -1,0 +1,257 @@
+"""Metered smoke run + SLO gate (``python -m repro.bench --metrics``).
+
+Runs a small mixed workload (puts at three sizes, gets, AMOs, barriers)
+with the metrics ticker sampling and a :class:`~repro.obsv.DesProfiler`
+hooked on the dispatch loop, then:
+
+* evaluates the bundled SLO ruleset (:data:`repro.obsv.slo.DEFAULT_RULES`)
+  against the run's metrics — a clean run must pass every rule;
+* packages the registry snapshot (``repro-metrics/v1``) for
+  ``python -m repro.obsv metrics`` and the CI artifact upload;
+* records the profiler's events/sec into ``BENCH_PR7.json`` — the
+  ROADMAP item-4 kernel-throughput baseline.
+
+:func:`check_against` gates a fresh run on the checked-in reference:
+virtual-time figures (deterministic) within the recorded tolerance,
+events/sec (machine-dependent) only against a generous floor ratio.
+
+This module never reads the host clock itself — the determinism lint
+bans ``time`` here; all wall-clock figures come from the profiler.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ...core import ShmemConfig, run_spmd
+from ...core.program import SpmdReport, make_cluster
+from ...fabric import ClusterConfig
+from ...obsv.profiler import DesProfiler
+from ...obsv.slo import SloReport, SloRuleSet
+
+__all__ = ["MetricsSmokeResult", "run_metrics_smoke", "check_against",
+           "SCHEMA"]
+
+SCHEMA = "bench-pr7/v1"
+
+#: sizes exercised by the smoke workload (bytes).
+PUT_SIZES = [32, 4 * 1024, 64 * 1024]
+GET_SIZES = [4 * 1024, 64 * 1024]
+_MAX_SIZE = max(PUT_SIZES + GET_SIZES)
+_ROUNDS = 4
+
+#: ticker period for the smoke run: fine enough for real sparklines.
+SAMPLE_WINDOW_US = 200.0
+
+#: virtual figures are deterministic; the tolerance only buys headroom
+#: against intentional model recalibrations (same as the PR-5 gate).
+TOLERANCE = 0.10
+
+#: events/sec is machine-dependent: fail only below this fraction of the
+#: recorded baseline (a shared CI runner is easily 2-3x slower than the
+#: machine that wrote the reference).
+EVENTS_PER_SEC_FLOOR = 0.30
+
+
+def _workload(pe):
+    """Mixed traffic from every PE: puts, gets, AMOs, barriers."""
+    sym = yield from pe.malloc(_MAX_SIZE)
+    counter = yield from pe.malloc(8)
+    src = pe.local_alloc(_MAX_SIZE)
+    dst = pe.local_alloc(_MAX_SIZE)
+    yield from pe.barrier_all()
+    target = (pe.my_pe() + 1) % pe.num_pes()
+    for size in PUT_SIZES:
+        for _ in range(_ROUNDS):
+            yield from pe.put_from(sym, src, size, target)
+        yield from pe.barrier_all()
+    for size in GET_SIZES:
+        for _ in range(_ROUNDS):
+            yield from pe.get_into(dst, sym, size, target)
+        yield from pe.barrier_all()
+    for _ in range(_ROUNDS):
+        yield from pe.atomic_add(counter, 1, target)
+    yield from pe.barrier_all()
+    total = yield from pe.atomic_fetch(counter, pe.my_pe())
+    return int(total)
+
+
+@dataclass
+class MetricsSmokeResult:
+    """Everything the gate, the artifact and the dashboard need."""
+
+    report: SpmdReport
+    snapshot: dict[str, Any]
+    slo: SloReport
+    profile: dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return self.slo.ok and all(
+            count == _ROUNDS for count in self.report.results
+        )
+
+    def virtual_figures(self) -> dict[str, float]:
+        """The deterministic figures the gate pins (virtual time only)."""
+        stats = self.report.stats()
+        registry = self.report.metrics
+        out = {
+            "elapsed_us": self.report.elapsed_us,
+            "puts": float(stats["puts"]),
+            "gets": float(stats["gets"]),
+            "amos": float(stats["amos"]),
+            "events_dispatched": float(
+                registry.value("sim.events_dispatched") or 0.0),
+            "samples_taken": float(registry.samples_taken),
+        }
+        for key, hist in registry.hist.items():
+            if key.startswith(("put_us.", "get_us.", "amo_us.",
+                               "barrier_us.")):
+                out[f"p50({key})"] = hist.quantile(0.5)
+                out[f"p99({key})"] = hist.quantile(0.99)
+        return out
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "tolerance": TOLERANCE,
+            "events_per_sec_floor": EVENTS_PER_SEC_FLOOR,
+            "virtual": self.virtual_figures(),
+            "slo": self.slo.to_json(),
+            # Machine-dependent; gated only against the floor ratio.
+            "profile": {
+                "events": self.profile["events"],
+                "events_per_sec": self.profile["events_per_sec"],
+                "wall_s": self.profile["wall_s"],
+            },
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def write_snapshot(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def render(self) -> str:
+        figures = self.virtual_figures()
+        lines = [
+            f"metered smoke: {figures['puts']:.0f} puts, "
+            f"{figures['gets']:.0f} gets, {figures['amos']:.0f} AMOs in "
+            f"{figures['elapsed_us']:.1f} virtual us "
+            f"({figures['samples_taken']:.0f} ticker samples)",
+            f"kernel: {self.profile['events']} events in "
+            f"{self.profile['wall_s']:.3f} s wall "
+            f"({self.profile['events_per_sec']:,.0f} events/sec, "
+            f"informational)",
+            "",
+            self.slo.render(),
+        ]
+        return "\n".join(lines)
+
+
+def run_metrics_smoke(n_pes: int = 3,
+                      rules: Optional[SloRuleSet] = None
+                      ) -> MetricsSmokeResult:
+    """Run the metered workload and judge it against the SLO rules."""
+    cluster = make_cluster(n_pes, ClusterConfig(n_hosts=n_pes))
+    profiler = DesProfiler(cluster.env)
+    profiler.install()
+    try:
+        report = run_spmd(
+            _workload, n_pes=n_pes, cluster=cluster,
+            shmem_config=ShmemConfig(
+                metrics_window_us=SAMPLE_WINDOW_US),
+        )
+    finally:
+        profiler.uninstall()
+    ruleset = rules or SloRuleSet.default()
+    slo = ruleset.evaluate(report.metrics)
+    return MetricsSmokeResult(
+        report=report,
+        snapshot=report.metrics.to_json(),
+        slo=slo,
+        profile=profiler.to_json(),
+    )
+
+
+@dataclass
+class CheckResult:
+    """Outcome of gating a fresh run against a checked-in BENCH_PR7.json."""
+
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = []
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for failure in self.failures:
+            lines.append(f"  REGRESSION: {failure}")
+        lines.append("metrics gate: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def check_against(result: MetricsSmokeResult, path: str,
+                  tolerance: Optional[float] = None) -> CheckResult:
+    """Gate ``result`` on the checked-in reference at ``path``.
+
+    Virtual figures may not drift beyond ``tolerance`` (default: the
+    reference file's).  Events/sec may not fall below the recorded floor
+    fraction of the reference.  The bundled SLO ruleset must pass.
+    """
+    with open(path) as fh:
+        reference = json.load(fh)
+    if reference.get("schema") != SCHEMA:
+        return CheckResult(ok=False, failures=[
+            f"{path}: unknown schema {reference.get('schema')!r} "
+            f"(expected {SCHEMA})"
+        ])
+    tol = tolerance if tolerance is not None \
+        else float(reference.get("tolerance", TOLERANCE))
+    failures: list[str] = []
+    notes: list[str] = []
+
+    current = result.virtual_figures()
+    for key, ref_value in sorted(reference.get("virtual", {}).items()):
+        value = current.get(key)
+        if value is None:
+            failures.append(f"{key}: figure disappeared from the run")
+            continue
+        if ref_value == 0:
+            if value != 0:
+                failures.append(f"{key}: 0 -> {value:g} (was zero)")
+            continue
+        drift = abs(value - ref_value) / abs(ref_value)
+        if drift > tol:
+            failures.append(
+                f"{key}: {ref_value:g} -> {value:g} "
+                f"({drift * 100:+.1f}% drift, tolerance {tol * 100:.0f}%)"
+            )
+
+    if not result.slo.ok:
+        for bad in result.slo.failures:
+            failures.append(f"SLO failed: {bad.render()}")
+
+    floor = float(reference.get("events_per_sec_floor",
+                                EVENTS_PER_SEC_FLOOR))
+    ref_eps = float(reference.get("profile", {})
+                    .get("events_per_sec", 0.0))
+    eps = result.profile["events_per_sec"]
+    if ref_eps > 0:
+        notes.append(
+            f"kernel throughput: {ref_eps:,.0f} -> {eps:,.0f} events/sec "
+            f"(floor {floor:.0%} of baseline)"
+        )
+        if eps < floor * ref_eps:
+            failures.append(
+                f"events/sec collapsed: {eps:,.0f} < "
+                f"{floor:.0%} of baseline {ref_eps:,.0f}"
+            )
+    return CheckResult(ok=not failures, failures=failures, notes=notes)

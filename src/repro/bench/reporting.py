@@ -20,13 +20,10 @@ __all__ = ["Row", "render_table", "render_percentiles", "size_label",
 PAPER_SIZES = [1 << k for k in range(10, 20)]
 
 
-def size_label(nbytes: int) -> str:
-    """1024 -> '1KB', 524288 -> '512KB' (the paper's x-axis labels)."""
-    if nbytes % 1024 == 0 and nbytes < (1 << 20):
-        return f"{nbytes // 1024}KB"
-    if nbytes % (1 << 20) == 0:
-        return f"{nbytes >> 20}MB"
-    return f"{nbytes}B"
+# Canonical implementation lives in the metrics fabric so size-keyed
+# metric names (put_us.4KB.1hop) agree everywhere; re-exported here for
+# the existing bench callers.
+from ..obsv.metrics import size_label  # noqa: E402,F401
 
 
 @dataclass

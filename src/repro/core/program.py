@@ -57,6 +57,11 @@ class SpmdReport:
     def tracer(self) -> Tracer:
         return self.cluster.tracer
 
+    @property
+    def metrics(self):
+        """The cluster's always-on :class:`~repro.obsv.MetricsRegistry`."""
+        return self.cluster.metrics
+
     def runtime(self, pe: int) -> ShmemRuntime:
         return self.runtimes[pe]
 

@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # faults loads lazily: only runs configured with a plan
 from ..host import Host, PinnedBuffer
 from ..ntb import LinkDownError, NtbDriver
 from ..ntb.device import BYPASS_WINDOW, DATA_WINDOW
+from ..obsv.metrics import MetricsRegistry, MetricsTicker, size_label
 from ..obsv.spans import NULL_SCOPE, ShmemScope, instrument_cluster
 from ..sim import Environment, Event, Interrupt, Signal, Tracer
 from .errors import (
@@ -99,6 +100,10 @@ class AmoOp:
     XOR = 6
 
     ALL = (FETCH, SET, ADD, COMPARE_SWAP, AND, OR, XOR)
+    #: metric-key spellings (pe0.amo.ADD, not pe0.amo.2).
+    NAMES = {FETCH: "FETCH", SET: "SET", ADD: "ADD",
+             COMPARE_SWAP: "COMPARE_SWAP", AND: "AND", OR: "OR",
+             XOR: "XOR"}
 
 
 @dataclass(frozen=True)
@@ -168,6 +173,12 @@ class ShmemConfig:
     #: inline small messages.  None (the default) keeps the runtime
     #: byte-identical in virtual time to the paper-faithful stack.
     fastpath: Optional[FastpathConfig] = None
+    #: Virtual-time metrics sampling period (repro.obsv.metrics): the
+    #: cluster's MetricsTicker snapshots every instrument into a ring-
+    #: buffered time series each period.  The fabric itself (counters,
+    #: gauges, histograms) is always on; only the sampler is opt-in
+    #: because its tick events must be stopped for quiescence runs.
+    metrics_window_us: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.rx_data_size < 4096:
@@ -193,6 +204,8 @@ class ShmemConfig:
             raise ValueError("retry_backoff_us must be >= 0")
         if self.handshake_timeout_us <= 0:
             raise ValueError("handshake_timeout_us must be positive")
+        if self.metrics_window_us is not None and self.metrics_window_us <= 0:
+            raise ValueError("metrics_window_us must be positive")
         if self.fastpath is not None:
             from .fastpath import FastpathConfig  # deferred: opt-in only
 
@@ -286,6 +299,19 @@ class ShmemRuntime:
         self.put_count = 0
         self.get_count = 0
         self.amo_count = 0
+        #: always-on metrics fabric (repro.obsv.metrics): a per-PE scoped
+        #: facade over the cluster registry.  Clusters create the registry
+        #: at build time; a bare test double gets a private one.
+        registry = getattr(cluster, "metrics", None)
+        if registry is None:
+            registry = MetricsRegistry(self.env)
+            cluster.metrics = registry
+        self.metrics_registry: MetricsRegistry = registry
+        self.metrics = registry.scoped(self.name)
+        for key, stat in (("puts", "put_count"), ("gets", "get_count"),
+                          ("amos", "amo_count"), ("retries", "retries"),
+                          ("reroutes", "reroutes")):
+            self.metrics.gauge(key).bind(lambda s=stat: getattr(self, s))
         #: Wait-for graph (cluster singleton, installed by ShmemCheck's
         #: runner before runtimes are built; None on ordinary runs).  Every
         #: blocking primitive registers through :meth:`blocked_on` or
@@ -402,10 +428,55 @@ class ShmemRuntime:
         from .barrier import make_barrier  # local import avoids cycle
 
         self.barrier = make_barrier(self)
+        self._wire_link_metrics()
         self._amo_tx = self.host.alloc_pinned(4096)
         if self._heartbeat_config is not None:
             self._start_failure_detector()
+        if self.config.metrics_window_us is not None:
+            # Cluster-singleton ticker, like the sanitizer: the first
+            # sampling runtime starts it; finalize() stops it so
+            # quiescence runs (env.run until empty) still terminate.
+            ticker = getattr(self.cluster, "metrics_ticker", None)
+            if ticker is None:
+                ticker = MetricsTicker(
+                    self.env, self.metrics_registry,
+                    period_us=self.config.metrics_window_us,
+                )
+                self.cluster.metrics_ticker = ticker
+            ticker.start()
         self.initialized = True
+
+    def _wire_link_metrics(self) -> None:
+        """Pull-gauge the mailboxes and service thread into the fabric.
+
+        Everything here binds existing lifetime statistics — zero cost on
+        the hot paths, zero virtual-time events.  Fastpath-only counters
+        (cut-throughs, coalesced wakes) are bound when the service exposes
+        them, so the same wiring covers both data planes.
+        """
+        for side, link in self.links.items():
+            for channel, mailbox in (("data", link.data_mailbox),
+                                     ("bypass", link.bypass_mailbox)):
+                scoped = self.metrics_registry.scoped(
+                    f"{self.name}.{side}.{channel}")
+                scoped.gauge("sent").bind(lambda m=mailbox: m.sent_count)
+                scoped.gauge("acked").bind(lambda m=mailbox: m.acked_count)
+                scoped.gauge("failed").bind(lambda m=mailbox: m.failed_count)
+                scoped.gauge("inline").bind(lambda m=mailbox: m.inline_count)
+                scoped.gauge("in_flight").bind(lambda m=mailbox: m.in_flight)
+                scoped.gauge("credits_free").bind(
+                    lambda m=mailbox: m.free_slots)
+                scoped.gauge("credit_waiters").bind(
+                    lambda m=mailbox: m._slots.queue_length)
+        service = self.service
+        scoped = self.metrics_registry.scoped(f"{self.name}.service")
+        for key, attr in (("cut_throughs", "cut_throughs"),
+                          ("cut_through_fallbacks", "cut_through_fallbacks"),
+                          ("coalesced_wakes", "coalesced_wakes"),
+                          ("dropped_forwards", "dropped_forwards")):
+            if hasattr(service, attr):
+                scoped.gauge(key).bind(
+                    lambda s=service, a=attr: getattr(s, a))
 
     def _setup_link(self, side: str, driver: NtbDriver) -> None:
         """Step 1 + 3: allocate receive buffers, program translations."""
@@ -546,6 +617,9 @@ class ShmemRuntime:
         """``shmem_finalize()`` — quiesce, stop the service, release."""
         self._check_ready()
         self._stop_failure_detector()
+        ticker = getattr(self.cluster, "metrics_ticker", None)
+        if ticker is not None:
+            ticker.stop()
         yield from self.quiet()
         assert self.service is not None
         yield from self.service.stop()
@@ -655,6 +729,8 @@ class ShmemRuntime:
                 link.driver, period_us=hb.period_us,
                 miss_threshold=hb.miss_threshold,
             )
+            monitor.miss_counter = self.metrics_registry.counter(
+                "heartbeat.misses")
             monitor.start()
             self.heartbeats[side] = monitor
             watcher = self.env.process(
@@ -852,6 +928,10 @@ class ShmemRuntime:
                 f"put.{mode.name}.{nbytes}B.{hops}hop",
                 self.env.now - op_start,
             )
+            self.metrics.inc(f"put.{mode.name}", nbytes=nbytes)
+            self.metrics_registry.observe(
+                f"put_us.{size_label(nbytes)}.{hops}hop",
+                self.env.now - op_start)
 
     def _put_inner(self, dest: SymAddr, src_virt: int, nbytes: int,
                    pe: int, mode: Mode, *,
@@ -980,6 +1060,10 @@ class ShmemRuntime:
                 f"get.{mode.name}.{nbytes}B.{hops}hop",
                 self.env.now - op_start,
             )
+            self.metrics.inc(f"get.{mode.name}", nbytes=nbytes)
+            self.metrics_registry.observe(
+                f"get_us.{size_label(nbytes)}.{hops}hop",
+                self.env.now - op_start)
 
     def _get_inner(self, src: SymAddr, nbytes: int, pe: int,
                    dest_virt: int, mode: Mode) -> Generator:
@@ -1064,12 +1148,19 @@ class ShmemRuntime:
             raise TransferError(f"unknown AMO op {op}")
         self.amo_count += 1
         hops = 0 if pe == self.my_pe_id else self.route_to(pe).hops
-        with self.scope.span("amo", category="op", track=self.name,
-                             pe=self.my_pe_id, peer=pe, op=op, hops=hops):
-            if self.san is not None:
-                self.san.record_atomic(self.my_pe_id, pe, target.offset, 8,
-                                       f"amo:{op}", self.env.now)
-            old = yield from self._amo_inner(pe, target, op, value, compare)
+        op_start = self.env.now
+        try:
+            with self.scope.span("amo", category="op", track=self.name,
+                                 pe=self.my_pe_id, peer=pe, op=op, hops=hops):
+                if self.san is not None:
+                    self.san.record_atomic(self.my_pe_id, pe, target.offset,
+                                           8, f"amo:{op}", self.env.now)
+                old = yield from self._amo_inner(pe, target, op, value,
+                                                 compare)
+        finally:
+            self.metrics.inc(f"amo.{AmoOp.NAMES[op]}")
+            self.metrics_registry.observe(
+                f"amo_us.{hops}hop", self.env.now - op_start)
         return old
 
     def _amo_inner(self, pe: int, target: SymAddr, op: int, value: int,
@@ -1267,6 +1358,9 @@ class ShmemRuntime:
                             self.env.now - op_start)
         self.scope.hist.observe(f"barrier.{self.config.barrier}",
                                 self.env.now - op_start)
+        self.metrics.inc("barriers")
+        self.metrics_registry.observe(
+            f"barrier_us.{self.config.barrier}", self.env.now - op_start)
 
     # ------------------------------------------------------------------ misc
     def malloc(self, nbytes: int) -> Generator:

@@ -298,6 +298,7 @@ class _MailboxBase:
         self.sent_count = 0
         self.acked_count = 0
         self.failed_count = 0
+        self.inline_count = 0
 
     def next_seq(self) -> int:
         self._seq = (self._seq + 1) & 0xFF
@@ -586,6 +587,7 @@ class BypassMailbox(_MailboxBase):
                 self.failed_count += 1
             raise
         self.sent_count += 1
+        self.inline_count += 1
 
     def ack(self) -> Generator:
         yield from self.driver.ring_doorbell(DOORBELL_ACK_BYPASS)

@@ -95,6 +95,7 @@ def _remote_wait_inner(
         if event in outcome:
             return outcome[event]
         if timer is not None and timer in outcome:
+            rt.metrics.inc("wait_timeouts")
             raise PeerUnreachableError(
                 f"{rt.name}: {what} timed out after {timeout_us} µs "
                 f"(lost response? dead link?)"

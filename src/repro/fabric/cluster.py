@@ -13,6 +13,7 @@ from typing import Generator, Iterator, Optional
 
 from ..host import CostModel, Host, HostConfig
 from ..ntb import NtbDriver, NtbEndpoint, NtbPortConfig, connect_endpoints
+from ..obsv.metrics import MetricsRegistry, wire_cluster_metrics
 from ..pcie import DuplexLink, LinkConfig
 from ..sim import Environment, Tracer
 from .topology import (
@@ -75,7 +76,11 @@ class Cluster:
         ]
         self.cables: dict[tuple[int, int], DuplexLink] = {}
         self._drivers: dict[tuple[int, str], NtbDriver] = {}
+        #: always-on metrics fabric (docs/METRICS.md); the time-series
+        #: ticker stays off unless the runtime opts in.
+        self.metrics = MetricsRegistry(self.env)
         self._build()
+        wire_cluster_metrics(self)
 
     def _build(self) -> None:
         """Seat adapters and run the cabling plan from the topology."""

@@ -100,6 +100,11 @@ class HeartbeatMonitor:
         self.beats_seen = 0
         self._last_peer_value: Optional[int] = None
         self._misses = 0
+        #: lifetime miss count (``_misses`` resets on every good beat).
+        self.total_misses = 0
+        #: optional metrics Counter (``heartbeat.misses``), set by the
+        #: runtime when the fabric is wired; duck-typed to avoid imports.
+        self.miss_counter = None
         self._stop = False
         self._process = None
 
@@ -165,6 +170,9 @@ class HeartbeatMonitor:
             self._transition(LinkState.ALIVE)
             return
         self._misses += 1
+        self.total_misses += 1
+        if self.miss_counter is not None:
+            self.miss_counter.inc()
         if self._misses >= self.miss_threshold:
             self._transition(LinkState.DEAD)
 

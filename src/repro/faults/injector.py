@@ -64,14 +64,22 @@ class FaultInjector:
         self._installed = True
 
     # -- event application (zero-time callbacks) ---------------------------
+    def _count(self, key: str) -> None:
+        metrics = getattr(self.cluster, "metrics", None)
+        if metrics is not None:
+            metrics.inc(f"faults.{key}")
+
     def _apply(self, event: FaultEvent) -> None:
         if isinstance(event, SeverCable):
             self.cluster.cable_between(event.host_a, event.host_b).sever()
+            self._count("severs")
         elif isinstance(event, RestoreCable):
             self.cluster.cable_between(event.host_a, event.host_b).restore()
+            self._count("restores")
         elif isinstance(event, DropDoorbell):
             endpoint = self.cluster.driver(event.host, event.side).endpoint
             endpoint.fault_drop_doorbells += event.count
+            self._count("doorbell_drops")
         elif isinstance(event, DelayTlp):
             cable = self.cluster.cable_between(event.host_a, event.host_b)
             for link in (cable.a_to_b, cable.b_to_a):
@@ -80,6 +88,7 @@ class FaultInjector:
             close.callbacks.append(
                 lambda _evt, c=cable, x=event.extra_us: self._close_delay(c, x)
             )
+            self._count("tlp_delays")
         else:  # pragma: no cover - plan validation makes this unreachable
             raise TypeError(f"unknown fault event {event!r}")
         self.applied.append((self.env.now, event))

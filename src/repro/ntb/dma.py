@@ -167,6 +167,8 @@ class DmaEngine:
         self.completed_requests = 0
         self.completed_bytes = 0
         self.failed_requests = 0
+        self.descriptors_processed = 0
+        self.descriptors_chained = 0
 
     # -- wiring -------------------------------------------------------------------
     def attach(self, local_memory: PhysicalMemory,
@@ -284,6 +286,9 @@ class DmaEngine:
         — preserving the pre-chaining event interleaving exactly.
         """
         delay = self._descriptor_delay(request, fetch_started) + extra
+        self.descriptors_processed += 1
+        if request.chained and fetch_started is not None:
+            self.descriptors_chained += 1
         if not request.chained or delay > 0:
             yield self.env.timeout(delay)
 

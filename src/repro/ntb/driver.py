@@ -58,6 +58,8 @@ class NtbDriver:
         self._probed = False
         self._bar_sizes: dict[int, int] = {}
         self._irq_handlers: dict[int, Callable[[int], None]] = {}
+        #: lifetime count of master-aborted reads/writes (severed cable).
+        self.master_aborts = 0
 
         endpoint.attach_host(
             memory=host.memory,
@@ -138,6 +140,7 @@ class NtbDriver:
         (master-abort), which is what link-watchdogs key on."""
         yield from self.host.cpu.mmio_reg_read()
         if self.endpoint.link_down:
+            self.master_aborts += 1
             return 0xFFFFFFFF
         return self.endpoint.spad_file().read(index)
 
@@ -231,6 +234,7 @@ class NtbDriver:
             cursor = 0
             while cursor < buf.size:
                 if self.endpoint.link_down:
+                    self.master_aborts += 1
                     raise LinkDownError(
                         f"{self.name}: PIO write master-aborted at byte "
                         f"{cursor}/{buf.size} (cable severed)"
@@ -258,6 +262,7 @@ class NtbDriver:
             cursor = 0
             while cursor < nbytes:
                 if self.endpoint.link_down:
+                    self.master_aborts += 1
                     raise LinkDownError(
                         f"{self.name}: PIO read master-aborted at byte "
                         f"{cursor}/{nbytes} (cable severed)"

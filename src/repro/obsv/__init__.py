@@ -11,13 +11,23 @@ hardware layers (``pcie``, ``ntb``) may import it without cycles.
 """
 
 from .hist import HistogramRegistry, HistSummary, LogHistogram
+from .metrics import (
+    Counter,
+    Gauge,
+    Meter,
+    MetricsRegistry,
+    MetricsTicker,
+    ScopedMetrics,
+    TimeSeries,
+    wire_cluster_metrics,
+)
 from .sampler import LinkSample, link_utilisation
 from .spans import NULL_SCOPE, NullScope, ShmemScope, Span, \
     instrument_cluster
 
-#: Deferred (PEP 562): the analysis/export helpers pull rendering and
-#: filesystem machinery that the hot import path (runtime bring-up, the
-#: smoke bench) never touches.
+#: Deferred (PEP 562): the analysis/export/profiling/SLO helpers pull
+#: rendering, filesystem or wall-clock machinery that the hot import path
+#: (runtime bring-up, the smoke bench) never touches.
 _LAZY_SUBMODULE = {
     "TraceNode": "analysis",
     "build_trees": "analysis",
@@ -26,6 +36,11 @@ _LAZY_SUBMODULE = {
     "dump_chrome_trace": "export",
     "to_chrome_trace": "export",
     "validate_chrome_trace": "export",
+    "DesProfiler": "profiler",
+    "SloReport": "slo",
+    "SloRule": "slo",
+    "SloRuleSet": "slo",
+    "DEFAULT_RULES": "slo",
 }
 
 
@@ -50,6 +65,14 @@ __all__ = [
     "HistSummary",
     "LinkSample",
     "link_utilisation",
+    "Counter",
+    "Gauge",
+    "Meter",
+    "TimeSeries",
+    "MetricsRegistry",
+    "ScopedMetrics",
+    "MetricsTicker",
+    "wire_cluster_metrics",
     "to_chrome_trace",
     "dump_chrome_trace",
     "validate_chrome_trace",
@@ -57,4 +80,9 @@ __all__ = [
     "build_trees",
     "render_breakdown",
     "render_flamegraph",
+    "DesProfiler",
+    "SloRule",
+    "SloRuleSet",
+    "SloReport",
+    "DEFAULT_RULES",
 ]

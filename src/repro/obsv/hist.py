@@ -61,6 +61,7 @@ class HistSummary:
     p50: float
     p90: float
     p99: float
+    p999: float
     minimum: float
     maximum: float
 
@@ -119,6 +120,7 @@ class LogHistogram:
             p50=self.quantile(0.50),
             p90=self.quantile(0.90),
             p99=self.quantile(0.99),
+            p999=self.quantile(0.999),
             minimum=self.minimum or 0.0,
             maximum=self.maximum or 0.0,
         )
@@ -154,16 +156,22 @@ class HistogramRegistry:
         return len(self._hists)
 
     def render(self, title: str = "latency histograms") -> str:
-        """Fixed-width table of every histogram's summary."""
+        """Fixed-width table of every histogram's summary.
+
+        The key column stretches to the longest key so long
+        ``{op}.{mode}.{size}B.{hops}hop`` names cannot shear the table.
+        """
+        width = max([36] + [len(key) for key in self._hists])
         lines = [title,
-                 f"{'key':<36} {'n':>6} {'mean':>9} {'p50':>9} "
-                 f"{'p90':>9} {'p99':>9} {'max':>9}  [us]"]
+                 f"{'key':<{width}} {'n':>6} {'mean':>9} {'p50':>9} "
+                 f"{'p90':>9} {'p99':>9} {'p999':>9} {'max':>9}  [us]"]
         lines.append("-" * len(lines[1]))
         for key, hist in self.items():
             s = hist.summary()
             lines.append(
-                f"{key:<36} {s.count:>6} {s.mean:>9.2f} {s.p50:>9.2f} "
-                f"{s.p90:>9.2f} {s.p99:>9.2f} {s.maximum:>9.2f}"
+                f"{key:<{width}} {s.count:>6} {s.mean:>9.2f} {s.p50:>9.2f} "
+                f"{s.p90:>9.2f} {s.p99:>9.2f} {s.p999:>9.2f} "
+                f"{s.maximum:>9.2f}"
             )
         if len(lines) == 3:
             lines.append("  (no observations)")

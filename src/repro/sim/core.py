@@ -167,6 +167,7 @@ class Event:
         self._value = value
         env = self.env
         _heappush(env._queue, (env._now, priority, next(env._eid), self))
+        env.scheduled_events += 1
         if env._policy is not None:
             env._policy.scheduled(env._now, priority, self)
         return self
@@ -222,6 +223,7 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         _heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
+        env.scheduled_events += 1
         if env._policy is not None:
             env._policy.scheduled(env._now + delay, NORMAL, self)
 
@@ -389,6 +391,10 @@ class Environment:
         self._policy: Optional[SchedulePolicy] = schedule_policy
         #: Hooks called as ``hook(env, event)`` just before callbacks run.
         self.step_hooks: list[Callable[["Environment", Event], None]] = []
+        #: Lifetime kernel statistics (read by the metrics fabric; plain
+        #: ints so the hot paths pay one increment, not a method call).
+        self.scheduled_events: int = 0
+        self.dispatched_events: int = 0
 
     # -- time ----------------------------------------------------------------
     @property
@@ -443,6 +449,7 @@ class Environment:
         _heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
+        self.scheduled_events += 1
         if self._policy is not None:
             self._policy.scheduled(self._now + delay, priority, event)
 
@@ -482,6 +489,7 @@ class Environment:
         else:
             when, _prio, _eid, event = self._policy_pop()
         self._now = when
+        self.dispatched_events += 1
         if self.step_hooks:
             for hook in self.step_hooks:
                 hook(self, event)

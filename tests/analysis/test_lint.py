@@ -42,8 +42,36 @@ def test_numpy_random_attribute_flagged(tmp_path):
     assert issues[0].line == 2
 
 
-def test_wallclock_allowed_outside_simulated_packages(tmp_path):
-    path = _write(tmp_path, "repro/bench/timing.py",
+def test_wallclock_flagged_in_every_repro_package(tmp_path):
+    # The rule covers all of repro.*, not just the simulated layers: a
+    # stray wall-clock read in bench or obsv breaks determinism too.
+    for relative in ("repro/bench/timing.py", "repro/obsv/clock.py",
+                     "repro/analysis/when.py"):
+        path = _write(tmp_path, relative,
+                      "import time\nt0 = time.perf_counter()\n")
+        assert [issue.rule for issue in lint_file(path)] == ["wallclock"], \
+            relative
+
+
+def test_wallclock_exempt_files_may_read_the_host_clock(tmp_path):
+    # repro.obsv.profiler is the sanctioned DES wall-clock profiler and
+    # the bench CLI measures wall time by design (WALLCLOCK_EXEMPT).
+    for relative in ("repro/obsv/profiler.py", "repro/bench/__main__.py",
+                     "repro/bench/experiments/fastpath.py"):
+        path = _write(tmp_path, relative,
+                      "import time\nt0 = time.perf_counter()\n")
+        assert lint_file(path) == [], relative
+
+
+def test_wallclock_exemption_is_per_package_and_filename(tmp_path):
+    # The exemption names (package, filename) pairs: the same filename
+    # in a different package is still banned.
+    path = _write(tmp_path, "repro/core/profiler.py", "import time\n")
+    assert [issue.rule for issue in lint_file(path)] == ["wallclock"]
+
+
+def test_wallclock_allowed_outside_repro(tmp_path):
+    path = _write(tmp_path, "scripts/timing.py",
                   "import time\nt0 = time.perf_counter()\n")
     assert lint_file(path) == []
 

@@ -1,0 +1,179 @@
+"""End-to-end metrics fabric: wiring, zero-cost guarantee, SLOs, gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.experiments.metrics import (
+    check_against,
+    run_metrics_smoke,
+)
+from repro.core import ShmemConfig, run_spmd
+from repro.obsv.slo import SloRuleSet
+
+
+def _workload(pe):
+    sym = yield from pe.malloc(8192)
+    src = pe.local_alloc(8192)
+    dst = pe.local_alloc(8192)
+    yield from pe.barrier_all()
+    target = (pe.my_pe() + 1) % pe.num_pes()
+    for _ in range(3):
+        yield from pe.put_from(sym, src, 4096, target)
+    yield from pe.barrier_all()
+    yield from pe.get_into(dst, sym, 2048, target)
+    yield from pe.barrier_all()
+    return pe.my_pe()
+
+
+# --------------------------------------------------------- always-on wiring
+class TestClusterWiring:
+    def test_registry_is_always_on(self):
+        report = run_spmd(_workload, n_pes=3)
+        registry = report.metrics
+        assert registry.value("pe0.puts") == 3
+        assert registry.value("pe*.puts") == 9
+        assert registry.value("pe0.put.DMA") == 3
+        assert registry.value("sim.events_dispatched") > 0
+        assert registry.value("sim.events_scheduled") >= \
+            registry.value("sim.events_dispatched")
+
+    def test_hardware_counters_reflect_traffic(self):
+        report = run_spmd(_workload, n_pes=3)
+        registry = report.metrics
+        # Every host's DMA engines moved the puts' bytes somewhere.
+        assert registry.value("host*.dma.bytes") > 0
+        assert registry.value("host*.db.rung") > 0
+        assert registry.value("host*.pio.master_aborts") == 0
+        assert registry.value("host*.dma.failed") == 0
+
+    def test_op_histograms_recorded(self):
+        report = run_spmd(_workload, n_pes=3)
+        hist = report.metrics.hist.get("put_us.4KB.1hop")
+        assert hist is not None
+        assert hist.count == 9  # 3 puts x 3 PEs, all one hop
+        assert hist.quantile(0.999) >= hist.quantile(0.5) > 0
+
+    def test_prometheus_export_of_real_run(self):
+        report = run_spmd(_workload, n_pes=2)
+        text = report.metrics.to_prometheus()
+        # pe0.puts is a gauge bound over the runtime's lifetime stat;
+        # the per-mode breakdown (put.DMA) is a true counter.
+        assert "# TYPE repro_pe0_puts gauge" in text
+        assert "# TYPE repro_pe0_put_DMA counter" in text
+        assert "repro_put_us_4KB_1hop" in text
+
+
+# --------------------------------------------------- zero virtual-time cost
+class TestGoldenByteIdentity:
+    def test_ticker_does_not_perturb_virtual_time(self):
+        # The golden guarantee: a metered run (ticker sampling every
+        # 100 us) lands on the exact same virtual clock and results as
+        # the same run without sampling.
+        plain = run_spmd(_workload, n_pes=3)
+        metered = run_spmd(_workload, n_pes=3,
+                           shmem_config=ShmemConfig(metrics_window_us=100.0))
+        assert metered.elapsed_us == plain.elapsed_us
+        assert metered.results == plain.results
+        assert metered.stats()["puts"] == plain.stats()["puts"]
+        # ...and the ticker really did sample.
+        assert metered.metrics.samples_taken > 0
+        assert plain.metrics.samples_taken == 0
+
+    def test_metered_run_is_deterministic(self):
+        a = run_spmd(_workload, n_pes=3,
+                     shmem_config=ShmemConfig(metrics_window_us=100.0))
+        b = run_spmd(_workload, n_pes=3,
+                     shmem_config=ShmemConfig(metrics_window_us=100.0))
+        assert a.elapsed_us == b.elapsed_us
+        assert a.metrics.snapshot() == b.metrics.snapshot()
+
+    def test_time_series_sampled_on_schedule(self):
+        report = run_spmd(_workload, n_pes=3,
+                          shmem_config=ShmemConfig(metrics_window_us=50.0))
+        series = report.metrics.series("pe0.puts")
+        times = [t for t, _v in series.samples()]
+        assert len(times) == report.metrics.samples_taken
+        assert times == sorted(times)
+        # The ticker starts at initialize time, so samples are anchored
+        # there — but consecutive samples are exactly one window apart.
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert deltas == pytest.approx([50.0] * len(deltas))
+
+
+# ------------------------------------------------------------ SLOs on runs
+class TestSloOnRealRuns:
+    def test_default_rules_pass_on_clean_run(self):
+        report = run_spmd(_workload, n_pes=3)
+        slo = SloRuleSet.default().evaluate(report.metrics)
+        assert slo.ok, slo.render()
+
+    def test_injected_latency_regression_fails_the_ruleset(self):
+        # An absurdly tight latency SLO stands in for a regression: the
+        # measured p99 blows through it and the ruleset must fail.
+        report = run_spmd(_workload, n_pes=3)
+        rules = SloRuleSet.parse(
+            "p99(put_us.4KB.1hop) < 0.001\n"
+            "pe*.retries == 0 unless faults.severs > 0\n")
+        slo = rules.evaluate(report.metrics)
+        assert not slo.ok
+        assert len(slo.failures) == 1
+        assert slo.failures[0].rule.func == "p99"
+        assert slo.failures[0].actual > 0.001
+
+
+# ---------------------------------------------------------- the PR-7 gate
+class TestMetricsBenchGate:
+    def test_smoke_result_passes_its_own_reference(self, tmp_path):
+        result = run_metrics_smoke()
+        assert result.ok
+        assert result.slo.ok, result.slo.render()
+        reference = tmp_path / "BENCH_PR7.json"
+        result.write(str(reference))
+        payload = json.loads(reference.read_text())
+        assert payload["schema"] == "bench-pr7/v1"
+        assert payload["profile"]["events_per_sec"] > 0
+        # A fresh run gates clean against what it just wrote.
+        again = run_metrics_smoke()
+        check = check_against(again, str(reference))
+        assert check.ok, check.render()
+
+    def test_gate_fails_on_virtual_drift(self, tmp_path):
+        result = run_metrics_smoke()
+        payload = result.to_payload()
+        payload["virtual"]["elapsed_us"] *= 2.0  # doctored reference
+        reference = tmp_path / "doctored.json"
+        reference.write_text(json.dumps(payload))
+        check = check_against(result, str(reference))
+        assert not check.ok
+        assert any("elapsed_us" in failure for failure in check.failures)
+
+    def test_gate_fails_on_events_per_sec_collapse(self, tmp_path):
+        result = run_metrics_smoke()
+        payload = result.to_payload()
+        payload["profile"]["events_per_sec"] = \
+            result.profile["events_per_sec"] * 100.0
+        reference = tmp_path / "fast-machine.json"
+        reference.write_text(json.dumps(payload))
+        check = check_against(result, str(reference))
+        assert not check.ok
+        assert any("collapsed" in failure for failure in check.failures)
+
+    def test_gate_rejects_unknown_schema(self, tmp_path):
+        result = run_metrics_smoke()
+        reference = tmp_path / "wrong.json"
+        reference.write_text(json.dumps({"schema": "bench-pr5/v1"}))
+        check = check_against(result, str(reference))
+        assert not check.ok
+
+    def test_committed_reference_gates_clean(self):
+        from pathlib import Path
+
+        reference = Path(__file__).resolve().parents[2] / "BENCH_PR7.json"
+        assert reference.exists(), \
+            "BENCH_PR7.json missing from the repo root"
+        result = run_metrics_smoke()
+        check = check_against(result, str(reference))
+        assert check.ok, check.render()

@@ -1,0 +1,99 @@
+"""DES wall-clock profiler tests: hook lifecycle and attribution."""
+
+from __future__ import annotations
+
+from repro.obsv import DesProfiler
+from repro.sim import Environment
+
+
+def _run_small_sim(profiler_installed: bool = True) -> DesProfiler:
+    env = Environment()
+    profiler = DesProfiler(env)
+    if profiler_installed:
+        profiler.install()
+
+    def worker(name: str):
+        for _ in range(5):
+            yield env.timeout(10.0)
+
+    for i in range(3):
+        env.process(worker(f"pe{i}.worker"), name=f"pe{i}.worker")
+    env.run()
+    profiler.uninstall()
+    return profiler
+
+
+def test_profiler_counts_every_dispatched_event():
+    env = Environment()
+    profiler = DesProfiler(env)
+    profiler.install()
+
+    def worker():
+        for _ in range(4):
+            yield env.timeout(1.0)
+
+    env.process(worker(), name="pe0.worker")
+    env.run()
+    profiler.uninstall()
+    assert profiler.events == env.dispatched_events > 0
+
+
+def test_profiler_attributes_by_event_type():
+    profiler = _run_small_sim()
+    assert "Timeout" in profiler.event_counts
+    # Per-instance process names collapse to their family.
+    assert "Process:worker" in profiler.event_counts
+    assert profiler.event_counts["Process:worker"] == 3
+    # Every attributed second belongs to a counted type.
+    assert set(profiler.event_seconds) <= set(profiler.event_counts)
+
+
+def test_profiler_wall_figures_are_sane():
+    profiler = _run_small_sim()
+    assert profiler.wall_seconds > 0
+    assert profiler.events_per_sec > 0
+    total_attributed = sum(profiler.event_seconds.values())
+    assert total_attributed <= profiler.wall_seconds + 1e-6
+
+
+def test_profiler_report_and_json():
+    profiler = _run_small_sim()
+    text = profiler.report()
+    assert "events/sec" in text
+    assert "Timeout" in text
+    payload = profiler.to_json()
+    assert payload["events"] == profiler.events
+    assert payload["by_type"]["Timeout"]["count"] == \
+        profiler.event_counts["Timeout"]
+
+
+def test_profiler_never_perturbs_virtual_time():
+    # Identical workloads with and without the profiler must land on the
+    # exact same virtual clock (the zero-virtual-cost guarantee).
+    def run(installed: bool) -> float:
+        env = Environment()
+        profiler = DesProfiler(env)
+        if installed:
+            profiler.install()
+
+        def worker():
+            for _ in range(10):
+                yield env.timeout(3.5)
+
+        env.process(worker(), name="w")
+        env.run()
+        profiler.uninstall()
+        return env.now
+
+    assert run(True) == run(False)
+
+
+def test_install_uninstall_idempotent():
+    env = Environment()
+    profiler = DesProfiler(env)
+    profiler.install()
+    profiler.install()
+    assert len(env.step_hooks) == 1
+    profiler.uninstall()
+    profiler.uninstall()
+    assert env.step_hooks == []

@@ -1,0 +1,104 @@
+"""Link-utilisation sampler edge cases: windows, idle links, boundaries."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obsv import link_utilisation
+from repro.obsv.spans import Span
+
+
+def _scope(spans):
+    # link_utilisation only reads .spans — a namespace stands in for a
+    # full ShmemScope.
+    return SimpleNamespace(spans=spans)
+
+
+def _transit(track, start, end, nbytes=0, span_id=0):
+    return Span(span_id=span_id, parent_id=None, name="link_transit",
+                category="link", track=track, start=start, end=end,
+                args={"nbytes": nbytes})
+
+
+def test_zero_duration_window_rejected():
+    with pytest.raises(ValueError, match="window_us must be positive"):
+        list(link_utilisation(_scope([]), window_us=0.0))
+    with pytest.raises(ValueError):
+        list(link_utilisation(_scope([]), window_us=-5.0))
+
+
+def test_fully_idle_link_yields_no_samples():
+    # No link_transit spans at all: an idle fabric produces an empty
+    # sample stream, not zero-busy windows.
+    assert list(link_utilisation(_scope([]), window_us=100.0)) == []
+    # Spans of other names (ops, DMA) do not count as wire occupancy.
+    other = Span(span_id=1, parent_id=None, name="put", category="op",
+                 track="pe0", start=0.0, end=50.0)
+    assert list(link_utilisation(_scope([other]), window_us=100.0)) == []
+
+
+def test_open_span_is_skipped():
+    open_span = _transit("l0", 0.0, None)
+    assert list(link_utilisation(_scope([open_span]), window_us=10.0)) == []
+
+
+def test_span_landing_exactly_on_window_boundary():
+    # [100, 200] with window 100: fully occupies window 1; the touch of
+    # window 2's left edge is zero overlap and must not emit a sample.
+    samples = list(link_utilisation(
+        _scope([_transit("l0", 100.0, 200.0, nbytes=800)]),
+        window_us=100.0))
+    assert [s.window_start for s in samples] == [100.0]
+    assert samples[0].busy_us == pytest.approx(100.0)
+    assert samples[0].busy_fraction == pytest.approx(1.0)
+    assert samples[0].nbytes == 800
+
+
+def test_straddling_span_splits_time_and_bytes_by_overlap():
+    # [50, 250] over 100-us windows: 50us in w0, 100us in w1, 50us in w2;
+    # bytes split proportionally 1/4, 1/2, 1/4.
+    samples = list(link_utilisation(
+        _scope([_transit("l0", 50.0, 250.0, nbytes=400)]),
+        window_us=100.0))
+    assert [s.window_start for s in samples] == [0.0, 100.0, 200.0]
+    assert [s.busy_us for s in samples] == \
+        pytest.approx([50.0, 100.0, 50.0])
+    assert [s.nbytes for s in samples] == [100, 200, 100]
+
+
+def test_instantaneous_span_attributes_bytes_not_time():
+    # A zero-duration transit (modelled as instantaneous) still moves its
+    # bytes through the window it lands in, with zero busy time.
+    samples = list(link_utilisation(
+        _scope([_transit("l0", 100.0, 100.0, nbytes=64)]),
+        window_us=100.0))
+    assert len(samples) == 1
+    assert samples[0].window_start == 100.0
+    assert samples[0].busy_us == 0.0
+    assert samples[0].busy_fraction == 0.0
+    assert samples[0].nbytes == 64
+
+
+def test_tracks_sorted_and_independent():
+    spans = [
+        _transit("link.b", 0.0, 10.0, nbytes=10, span_id=1),
+        _transit("link.a", 0.0, 10.0, nbytes=20, span_id=2),
+    ]
+    samples = list(link_utilisation(_scope(spans), window_us=100.0))
+    assert [s.track for s in samples] == ["link.a", "link.b"]
+    assert all(s.busy_us == pytest.approx(10.0) for s in samples)
+
+
+def test_busy_never_exceeds_window():
+    # Overlapping transits on one track can sum past the window length;
+    # the sample clamps (utilisation is capped at 100%).
+    spans = [
+        _transit("l0", 0.0, 90.0, span_id=1),
+        _transit("l0", 10.0, 100.0, span_id=2),
+    ]
+    samples = list(link_utilisation(_scope(spans), window_us=100.0))
+    assert len(samples) == 1
+    assert samples[0].busy_us == pytest.approx(100.0)
+    assert samples[0].busy_fraction <= 1.0

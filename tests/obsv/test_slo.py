@@ -1,0 +1,161 @@
+"""SLO engine tests: parsing, evaluation, waivers, failure demos."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obsv import MetricsRegistry
+from repro.obsv.slo import DEFAULT_RULES, SloError, SloRule, SloRuleSet
+from repro.sim import Environment
+
+
+def _registry(now: float = 1_000_000.0) -> MetricsRegistry:
+    env = Environment()
+    env._now = now  # unit test: pin the clock directly
+    return MetricsRegistry(env)
+
+
+# ---------------------------------------------------------------- parsing
+def test_parse_quantile_rule():
+    rule = SloRule.parse("p99(put_us.32B.2hop) < 2_500")
+    assert rule.func == "p99"
+    assert rule.key == "put_us.32B.2hop"
+    assert rule.op == "<"
+    assert rule.value == 2500.0
+    assert rule.unless_key is None
+
+
+def test_parse_bare_key_with_unless():
+    rule = SloRule.parse("heartbeat.misses == 0 unless faults.severs > 0")
+    assert rule.func is None
+    assert rule.key == "heartbeat.misses"
+    assert rule.unless_key == "faults.severs"
+    assert rule.unless_op == ">"
+    assert rule.unless_value == 0.0
+
+
+def test_parse_rejects_unknown_function():
+    with pytest.raises(SloError, match="unknown SLO function"):
+        SloRule.parse("p42(put_us.32B.1hop) < 10")
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(SloError, match="unparseable"):
+        SloRule.parse("put latency should be fast please")
+
+
+def test_ruleset_parse_skips_comments_and_blanks():
+    ruleset = SloRuleSet.parse(
+        "# header\n\nsim.events_dispatched > 0  # trailing\n")
+    assert len(ruleset) == 1
+
+
+# ------------------------------------------------------------- evaluation
+def test_raw_counter_rule_pass_and_fail():
+    registry = _registry()
+    registry.inc("pe0.retries", 2)
+    ruleset = SloRuleSet.parse("pe*.retries == 0")
+    report = ruleset.evaluate(registry)
+    assert not report.ok
+    assert report.failures[0].actual == 2.0
+    registry2 = _registry()
+    assert SloRuleSet.parse("pe*.retries == 0").evaluate(registry2).ok
+
+
+def test_unless_clause_waives_instead_of_failing():
+    registry = _registry()
+    registry.inc("pe0.retries", 5)
+    registry.inc("faults.severs")
+    report = SloRuleSet.parse(
+        "pe*.retries == 0 unless faults.severs > 0").evaluate(registry)
+    assert report.ok
+    result = report.results[0]
+    assert result.waived and not result.passed
+    assert "WAIVED" in result.render()
+
+
+def test_rate_rule_uses_elapsed_virtual_seconds():
+    registry = _registry(now=2_000_000.0)  # 2 virtual seconds
+    registry.inc("pe0.msgs", 10)
+    report = SloRuleSet.parse("rate(pe0.msgs) <= 5").evaluate(registry)
+    assert report.ok
+    assert report.results[0].actual == pytest.approx(5.0)
+
+
+def test_quantile_rule_over_histogram():
+    registry = _registry()
+    for value in (10.0, 11.0, 12.0, 1000.0):
+        registry.observe("put_us.32B.1hop", value)
+    assert SloRuleSet.parse(
+        "p50(put_us.32B.1hop) < 50").evaluate(registry).ok
+    assert not SloRuleSet.parse(
+        "max(put_us.32B.1hop) < 50").evaluate(registry).ok
+    assert SloRuleSet.parse(
+        "count(put_us.*) == 4").evaluate(registry).ok
+
+
+def test_glob_quantile_merges_histograms():
+    registry = _registry()
+    registry.observe("put_us.32B.1hop", 10.0)
+    registry.observe("put_us.32B.2hop", 1000.0)
+    report = SloRuleSet.parse("max(put_us.*) >= 1000").evaluate(registry)
+    assert report.ok
+    assert SloRuleSet.parse("count(put_us.*) == 2").evaluate(registry).ok
+
+
+def test_quantile_of_missing_histogram_fails_loudly():
+    report = SloRuleSet.parse(
+        "p99(never_observed_us.*) < 10").evaluate(_registry())
+    assert not report.ok
+    assert report.results[0].actual is None
+    assert "no histogram matches" in report.results[0].detail
+
+
+def test_missing_counter_reads_as_zero():
+    # Counter-style reads default to 0 — "zero retries" must hold even
+    # before the first retry could have been counted.
+    assert SloRuleSet.parse("pe*.retries == 0").evaluate(_registry()).ok
+
+
+# ----------------------------------------------------- bundled default set
+def test_default_rules_pass_on_clean_registry():
+    registry = _registry()
+    registry.env.dispatched_events = 10
+    registry.gauge("sim.events_dispatched").bind(
+        lambda: registry.env.dispatched_events)
+    assert SloRuleSet.default().evaluate(registry).ok
+
+
+def test_default_rules_fail_on_unwaived_heartbeat_miss():
+    # A heartbeat miss with no recorded fault (faults.severs == 0) is a
+    # real health violation — the unless clause must NOT waive it.
+    registry = _registry()
+    registry.gauge("sim.events_dispatched").set(10)
+    registry.inc("heartbeat.misses")
+    report = SloRuleSet.default().evaluate(registry)
+    assert not report.ok
+    failing = [r.rule.key for r in report.failures]
+    assert failing == ["heartbeat.misses"]
+
+
+def test_default_rules_waive_misses_during_fault_window():
+    registry = _registry()
+    registry.gauge("sim.events_dispatched").set(10)
+    registry.inc("heartbeat.misses", 3)
+    registry.inc("pe0.retries", 2)
+    registry.inc("faults.severs")
+    assert SloRuleSet.default().evaluate(registry).ok
+
+
+def test_report_to_json_is_structured():
+    registry = _registry()
+    registry.inc("heartbeat.misses")
+    payload = SloRuleSet.parse(
+        "heartbeat.misses == 0").evaluate(registry).to_json()
+    assert payload["ok"] is False
+    assert payload["rules"][0]["passed"] is False
+    assert payload["rules"][0]["actual"] == 1.0
+
+
+def test_default_rules_text_is_parseable():
+    assert len(SloRuleSet.parse(DEFAULT_RULES)) == len(SloRuleSet.default())
