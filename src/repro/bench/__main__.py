@@ -12,6 +12,8 @@ Options::
     python -m repro.bench --chaos --chaos-seed 7   # different cut point
     python -m repro.bench --metrics       # metered smoke + SLO evaluation
     python -m repro.bench --metrics --check BENCH_PR7.json  # CI gate
+    python -m repro.bench --kernel        # DES kernel throughput bench
+    python -m repro.bench --kernel --check BENCH_PR8.json   # CI gate
 """
 
 from __future__ import annotations
@@ -85,20 +87,45 @@ def main(argv: list[str] | None = None) -> int:
                              "metrics ticker + DES profiler, evaluated "
                              "against the bundled SLO ruleset; writes "
                              "BENCH_PR7.json unless --check is given")
+    parser.add_argument("--kernel", action="store_true",
+                        help="DES kernel throughput bench: timer-storm "
+                             "dispatch rate per scheduler (heap/calendar/"
+                             "legacy step driver), 16-host chaos+traced "
+                             "stress and the PR-7 profile rerun; writes "
+                             "BENCH_PR8.json unless --check is given")
     parser.add_argument("--snapshot", metavar="PATH",
                         help="with --metrics: also write the registry "
                              "snapshot JSON (repro-metrics/v1) for "
                              "'python -m repro.obsv metrics'")
     parser.add_argument("--out", metavar="PATH",
                         help="output path for --compare-fastpath "
-                             "(default: BENCH_PR5.json) or --metrics "
-                             "(default: BENCH_PR7.json)")
+                             "(default: BENCH_PR5.json), --metrics "
+                             "(default: BENCH_PR7.json) or --kernel "
+                             "(default: BENCH_PR8.json)")
     parser.add_argument("--check", metavar="PATH",
                         help="with --compare-fastpath or --metrics: gate "
                              "against a checked-in reference instead of "
                              "writing; fails on any virtual-time metric "
                              "regressing beyond the recorded tolerance")
     args = parser.parse_args(argv)
+
+    if args.kernel:
+        from .experiments.kernel import check_against as kernel_check, \
+            run_kernel_bench
+
+        t0 = time.perf_counter()
+        result = run_kernel_bench()
+        print(result.render())
+        print(f"\nwall time: {time.perf_counter() - t0:.1f}s; "
+              "events/sec are host wall-clock figures")
+        if args.check:
+            check = kernel_check(result, args.check)
+            print(check.render())
+            return 0 if check.ok else 1
+        out = args.out or "BENCH_PR8.json"
+        result.write(out)
+        print(f"wrote {out}")
+        return 0 if result.targets_pass else 1
 
     if args.metrics:
         from .experiments.metrics import check_against as metrics_check, \

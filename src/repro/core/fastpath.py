@@ -487,7 +487,7 @@ class CoalescingService(ShmemService):
             with rt.scope.span("onward_send", category="service",
                                track=f"{rt.name}.service",
                                kind=out.kind.name, nbytes=out.size):
-                yield from mailbox.send_inline(out, data)
+                yield from mailbox.send_inline(out, data, relay=True)
         except (LinkDownError, PeerUnreachableError):
             self.dropped_forwards += 1
             rt.tracer.count(f"{rt.name}.fwd_dropped")

@@ -268,6 +268,12 @@ class PendingAmo:
 class ShmemRuntime:
     """OpenSHMEM runtime instance for one host/PE."""
 
+    #: Finalize-time drain budget (virtual µs): see :meth:`quiet`.  Large
+    #: enough for any in-flight ACK from a live peer (control messages
+    #: ACK within microseconds); only traffic to an already-torn-down
+    #: peer can outlast it.
+    FINALIZE_DRAIN_US = 10_000.0
+
     def __init__(self, cluster: Cluster, host_id: int,
                  config: Optional[ShmemConfig] = None):
         self.cluster = cluster
@@ -620,7 +626,11 @@ class ShmemRuntime:
         ticker = getattr(self.cluster, "metrics_ticker", None)
         if ticker is not None:
             ticker.stop()
-        yield from self.quiet()
+        # Bounded drain: peers finalize at their own pace, and one that
+        # finished first no longer ACKs (its IRQ vectors are gone).  Any
+        # traffic still un-ACKed after the budget is such orphaned
+        # control chatter — flush it rather than spinning forever.
+        yield from self.quiet(flush_after_us=self.FINALIZE_DRAIN_US)
         assert self.service is not None
         yield from self.service.stop()
         self.heap.reset()
@@ -1295,7 +1305,7 @@ class ShmemRuntime:
             self.host.munmap(staging)
 
     # ----------------------------------------------------------------- fences
-    def quiet(self) -> Generator:
+    def quiet(self, flush_after_us: Optional[float] = None) -> Generator:
         """Wait until all locally initiated traffic is acknowledged.
 
         For neighbor Puts an ACK means the destination drained the data
@@ -1303,6 +1313,12 @@ class ShmemRuntime:
         the first hop only; end-to-end completion is provided by
         ``barrier_all`` (token FIFO-flushes behind forwarded data) — the
         same guarantee the paper's prototype offers.
+
+        ``flush_after_us`` bounds the wait (finalize only): traffic still
+        un-ACKed that long after the exit rendezvous is addressed to a
+        peer that already tore down its IRQ vectors and can never ACK —
+        it is force-failed instead of polled forever.  Ordinary runs
+        drain in microseconds, so the deadline is inert there.
         """
         self._check_ready()
         # Join every outstanding non-blocking operation first.
@@ -1310,13 +1326,40 @@ class ShmemRuntime:
             handle = self._nbi_handles.pop()
             if handle.is_alive:
                 yield handle
+        deadline = (None if flush_after_us is None
+                    else self.env.now + flush_after_us)
         with self.blocked_on("quiet"):
             while True:
-                busy = [
-                    link for link in self.links.values()
-                    if not link.data_mailbox.idle
-                    or not link.bypass_mailbox.idle
-                ]
+                expired = deadline is not None and self.env.now >= deadline
+                # While an edge is dead, judge each mailbox by local_idle
+                # rather than idle: quiet orders the calling PE's own
+                # operations, and the degraded barrier's resend chatter
+                # keeps every relay hop's mailbox near-permanently busy —
+                # a quiet waiting for traffic forwarded on behalf of
+                # *other* PEs livelocks the recovery (the storm only
+                # stops once this PE arrives).  Fault-free runs keep the
+                # stricter global check so their timing is untouched.
+                degraded = bool(self.dead_edges)
+                busy = []
+                for link in self.links.values():
+                    dm, bm = link.data_mailbox, link.bypass_mailbox
+                    if (dm.local_idle and bm.local_idle) if degraded \
+                            else (dm.idle and bm.idle):
+                        continue
+                    if expired \
+                            or self._edge_for_side(link.side) \
+                            in self.dead_edges:
+                        # Traffic handed to a severed cable will never be
+                        # ACKed (master abort): it is failed, not pending.
+                        # apply_edge_dead flushed the slots once at death;
+                        # anything sent since (heartbeats, retries racing
+                        # the detector, stray barrier re-releases) must be
+                        # flushed here too, or this poll spins forever.
+                        dm.fail_outstanding()
+                        bm.fail_outstanding()
+                        if dm.local_idle and bm.local_idle:
+                            continue
+                    busy.append(link)
                 if not busy and not self.pending_gets \
                         and not self.pending_amos:
                     if self.san is not None:

@@ -102,6 +102,14 @@ class ShmemService:
         self.active_responders = 0
         #: in-flight spawned forward/reply tasks (see _spawn_task).
         self.active_forwards = 0
+        #: in-flight BARRIER_MSG relays.  Counted separately because
+        #: :attr:`quiescent` must ignore them: barrier control is
+        #: idempotent and generation-tagged, so a token overtaking one
+        #: is harmless — and during a degraded-barrier resend storm a
+        #: relay hop's control forwards never fully drain, which would
+        #: wedge ``forwarding_quiesce`` (and with it the very arrival
+        #: that would end the storm).
+        self.active_ctrl_forwards = 0
         #: in-flight deferred ACK tasks (always 0 on the baseline path;
         #: the fastpath's cut-through forwarding defers slot ACKs).
         self.active_acks = 0
@@ -110,6 +118,10 @@ class ShmemService:
         self.dropped_forwards = 0
         self.abandoned_responses = 0
         self.stale_responses = 0
+        #: identical BARRIER_MSG relays queued per direction (dedup set,
+        #: see _forward_control) and how many duplicates were dropped.
+        self._queued_ctrl_fwds: set = set()
+        self.dup_ctrl_drops = 0
 
     # ---------------------------------------------------------------- intake
     def enqueue(self, side: str, kind: str) -> None:
@@ -121,14 +133,17 @@ class ShmemService:
     def is_idle(self) -> bool:
         return (not self._work and self.thread.is_sleeping
                 and self.active_responders == 0
-                and self.active_forwards == 0)
+                and self.active_forwards == 0
+                and self.active_ctrl_forwards == 0)
 
     @property
     def quiescent(self) -> bool:
-        """No queued, in-flight, or deferred work anywhere in the service.
+        """No queued or in-flight *data* work anywhere in the service.
 
         This is the condition :meth:`ShmemRuntime.forwarding_quiesce` polls;
         subclasses widen it (a fastpath poll-idle thread counts as asleep).
+        In-flight BARRIER_MSG relays (``active_ctrl_forwards``) are
+        deliberately excluded — see the counter's comment.
         """
         return (not self._work and self.active_forwards == 0
                 and self.active_responders == 0
@@ -137,9 +152,21 @@ class ShmemService:
 
     def stop(self) -> Generator:
         # Let in-flight forwards/responders drain before killing the thread.
+        deadline = self.env.now + self.rt.FINALIZE_DRAIN_US
         with self.rt.blocked_on("service-stop"):
-            while (self.active_forwards or self.active_responders
+            while (self.active_forwards or self.active_ctrl_forwards
+                   or self.active_responders
                    or self.active_acks or self._work):
+                if self.env.now >= deadline:
+                    # A peer that already finalized will never ACK, so a
+                    # relay queued behind its slot would wait forever.
+                    # Free the slots: sends are posted writes that return
+                    # after the local hand-off, so each flush lets one
+                    # queued task complete (the bytes die at the torn-down
+                    # end, which is fine — barrier chatter is idempotent).
+                    for link in self.rt.links.values():
+                        link.data_mailbox.fail_outstanding()
+                        link.bypass_mailbox.fail_outstanding()
                 yield self.env.timeout(1.0)
         self.thread.stop()
         yield self.thread.join()
@@ -435,7 +462,7 @@ class ShmemService:
                 dest_pe=msg.dest_pe, offset=msg.offset, size=msg.size,
                 aux=msg.aux, seq=out_link.data_mailbox.next_seq(),
             )
-            yield from out_link.data_mailbox.send(out, payload)
+            yield from out_link.data_mailbox.send(out, payload, relay=True)
         else:
             out = Message(
                 kind=msg.kind if msg.kind is not MsgKind.PUT_DATA
@@ -445,35 +472,65 @@ class ShmemService:
                 seq=out_link.bypass_mailbox.next_seq(),
             )
             assert payload is not None
-            yield from out_link.bypass_mailbox.send(out, payload)
+            yield from out_link.bypass_mailbox.send(out, payload, relay=True)
 
     def _forward_control(self, msg: Message, in_link: "LinkEnd") -> Generator:
         out_link = self._out_link(in_link)
         next_pe = self.rt.neighbor_pe(out_link.direction)
-        self._spawn_task(msg, out_link, next_pe, staging=None)
+        dedup = None
+        if msg.kind is MsgKind.BARRIER_MSG:
+            # ARRIVE/RELEASE are idempotent and generation-tagged (aux):
+            # while an identical copy is still queued for this direction,
+            # relaying another adds nothing but mailbox congestion.  At
+            # large ring sizes the degraded barrier's resend storm would
+            # otherwise outpace the surviving line (every hop is a
+            # capacity-1 mailbox) and livelock the whole episode.
+            dedup = (out_link.side, msg.src_pe, msg.dest_pe, msg.aux)
+            if dedup in self._queued_ctrl_fwds:
+                self.dup_ctrl_drops += 1
+                self.rt.tracer.count(f"{self.rt.name}.fwd_dup_dropped")
+                return
+            self._queued_ctrl_fwds.add(dedup)
+        self._spawn_task(msg, out_link, next_pe, staging=None, dedup=dedup)
         return
         yield  # pragma: no cover - keeps this a generator
 
     def _spawn_task(self, msg: Message, out_link: "LinkEnd",
                     next_pe: Optional[int],
-                    staging) -> None:
+                    staging, dedup=None) -> None:
         """Detach an onward send so the service thread cannot deadlock.
 
         Ordering: tasks are spawned in arrival order and a send's first
         action is the mailbox slot request, so FIFO slot granting plus the
         mailbox TX lock preserve per-direction message order.
         """
-        self.active_forwards += 1
+        ctrl = msg.kind is MsgKind.BARRIER_MSG
+        if ctrl:
+            self.active_ctrl_forwards += 1
+        else:
+            self.active_forwards += 1
         task = self.env.process(
-            self._onward_task(msg, out_link, next_pe, staging),
+            self._onward_task(msg, out_link, next_pe, staging, dedup, ctrl),
             name=f"{self.rt.name}.fwd.{msg.kind.name}",
         )
         # Seed the detached task so its spans stay in this message's tree.
         self.rt.scope.bind_process(task, self.rt.scope.current_span_id())
 
     def _onward_task(self, msg: Message, out_link: "LinkEnd",
-                     next_pe: Optional[int], staging) -> Generator:
+                     next_pe: Optional[int], staging,
+                     dedup=None, ctrl: bool = False) -> Generator:
         try:
+            if ctrl:
+                # A relayed ARRIVE/RELEASE must not overtake data chunks
+                # this host is forwarding — the same rule the ring-token
+                # path enforces with forwarding_quiesce before ringing
+                # the token doorbell.  Without it a degraded barrier can
+                # release while a long-way-around Put is still mid-line,
+                # and the reader sees stale bytes.  Data forwards are
+                # finite (no resend storm), so this always drains.
+                with self.rt.blocked_on("ctrl-relay data flush"):
+                    while self.active_forwards:
+                        yield self.env.timeout(1.0)
             with self.rt.scope.span("onward_send", category="service",
                                     track=f"{self.rt.name}.service",
                                     kind=msg.kind.name, nbytes=msg.size):
@@ -491,9 +548,14 @@ class ShmemService:
             self.dropped_forwards += 1
             self.rt.tracer.count(f"{self.rt.name}.fwd_dropped")
         finally:
+            if dedup is not None:
+                self._queued_ctrl_fwds.discard(dedup)
             if staging is not None:
                 self.rt.host.free_pinned(staging)
-            self.active_forwards -= 1
+            if ctrl:
+                self.active_ctrl_forwards -= 1
+            else:
+                self.active_forwards -= 1
 
     # ------------------------------------------------------------------- gets
     def _spawn_responder(self, msg: Message, reply_side: str) -> None:

@@ -290,6 +290,12 @@ class _MailboxBase:
         self.name = name
         self._slots = Resource(env, capacity=capacity, name=f"{name}.slots")
         self._outstanding: deque = deque()
+        #: slot requests issued with ``relay=True`` (store-and-forward
+        #: sends the service performs on behalf of *other* PEs), whether
+        #: still queued for a slot or already in flight.  ``local_idle``
+        #: subtracts these so ``quiet()`` only waits for the owning PE's
+        #: own traffic.
+        self._relay_reqs: set = set()
         self._seq = 0
         #: slots force-released by fail_outstanding(); a late ACK for one
         #: of these is expected, not a protocol violation.
@@ -314,6 +320,7 @@ class _MailboxBase:
                 return
             raise ProtocolError(f"{self.name}: ACK with nothing outstanding")
         request = self._outstanding.popleft()
+        self._relay_reqs.discard(request)
         self.acked_count += 1
         self._slots.release(request)
 
@@ -327,6 +334,7 @@ class _MailboxBase:
         flushed = 0
         while self._outstanding:
             request = self._outstanding.popleft()
+            self._relay_reqs.discard(request)
             self._slots.release(request)
             self._flushed += 1
             self.failed_count += 1
@@ -348,6 +356,25 @@ class _MailboxBase:
     def idle(self) -> bool:
         return not self._outstanding and self._slots.queue_length == 0
 
+    @property
+    def local_idle(self) -> bool:
+        """Idle from the owning PE's own point of view.
+
+        Sends tagged ``relay=True`` do not count: OpenSHMEM ``quiet``
+        orders the *calling* PE's operations only, and a busy relay line
+        must not wedge it.  On a large degraded ring the resend storm of
+        a recovery barrier keeps every hop's mailbox near-permanently
+        occupied with forwarded ARRIVEs — a quiet that waits for those
+        can never finish, yet the storm only stops once that quiet's PE
+        arrives (a livelock observed at 16 hosts).
+        """
+        if not self._relay_reqs:
+            return self.idle
+        flying = sum(1 for r in self._outstanding if r in self._relay_reqs)
+        waiting = len(self._relay_reqs) - flying
+        return (len(self._outstanding) == flying
+                and self._slots.queue_length == waiting)
+
 
 class DataMailbox(_MailboxBase):
     """One-outstanding channel through the data window + ScratchPads.
@@ -363,16 +390,26 @@ class DataMailbox(_MailboxBase):
         self.spad_block = spad_block
 
     def send(self, msg: Message, payload: Optional[PayloadSource] = None,
-             ) -> Generator:
+             relay: bool = False) -> Generator:
         """Transmit one message; returns after the *local* hand-off
-        (payload written + header + doorbell), i.e. locally blocking."""
+        (payload written + header + doorbell), i.e. locally blocking.
+
+        ``relay=True`` marks a store-and-forward send issued on behalf
+        of another PE; see :attr:`_MailboxBase.local_idle`.
+        """
         if msg.kind.carries_payload and payload is None:
             raise ProtocolError(f"{self.name}: {msg.kind.name} needs payload")
         scope = self.driver.scope
         scope.bind_msg(msg, scope.current_span_id())
         with scope.span("slot_wait", category="mailbox", track=self.name):
             request = self._slots.request()
-            yield request
+            if relay:
+                self._relay_reqs.add(request)
+            try:
+                yield request
+            except BaseException:
+                self._relay_reqs.discard(request)
+                raise
         self._outstanding.append(request)
         try:
             if payload is not None:
@@ -396,6 +433,7 @@ class DataMailbox(_MailboxBase):
             # this slot — reclaim it here or the capacity-1 channel wedges.
             if request in self._outstanding:
                 self._outstanding.remove(request)
+                self._relay_reqs.discard(request)
                 self._slots.release(request)
                 self.failed_count += 1
             raise
@@ -460,7 +498,8 @@ class BypassMailbox(_MailboxBase):
     def window_bytes_needed(self) -> int:
         return self.slot_stride * self.slots
 
-    def send(self, msg: Message, payload: PayloadSource) -> Generator:
+    def send(self, msg: Message, payload: PayloadSource,
+             relay: bool = False) -> Generator:
         """Transmit one forwarded chunk (header + payload in the slot)."""
         if payload.nbytes > self.slot_payload:
             raise ProtocolError(
@@ -476,7 +515,13 @@ class BypassMailbox(_MailboxBase):
         scope.bind_msg(msg, scope.current_span_id())
         with scope.span("slot_wait", category="mailbox", track=self.name):
             request = self._slots.request()
-            yield request
+            if relay:
+                self._relay_reqs.add(request)
+            try:
+                yield request
+            except BaseException:
+                self._relay_reqs.discard(request)
+                raise
         self._outstanding.append(request)
         slot = self._next_slot
         self._next_slot = (self._next_slot + 1) % self.slots
@@ -508,6 +553,7 @@ class BypassMailbox(_MailboxBase):
             # Undelivered: no ACK will ever free this slot (see DataMailbox).
             if request in self._outstanding:
                 self._outstanding.remove(request)
+                self._relay_reqs.discard(request)
                 self._slots.release(request)
                 self.failed_count += 1
             raise
@@ -533,7 +579,8 @@ class BypassMailbox(_MailboxBase):
                 payload.data()
             )
 
-    def send_inline(self, msg: Message, data: np.ndarray) -> Generator:
+    def send_inline(self, msg: Message, data: np.ndarray,
+                    relay: bool = False) -> Generator:
         """Fastpath: payload rides inside the 64-byte slot header.
 
         One PIO write publishes header and payload together, skipping the
@@ -557,7 +604,13 @@ class BypassMailbox(_MailboxBase):
         scope.bind_msg(msg, scope.current_span_id())
         with scope.span("slot_wait", category="mailbox", track=self.name):
             request = self._slots.request()
-            yield request
+            if relay:
+                self._relay_reqs.add(request)
+            try:
+                yield request
+            except BaseException:
+                self._relay_reqs.discard(request)
+                raise
         self._outstanding.append(request)
         slot = self._next_slot
         self._next_slot = (self._next_slot + 1) % self.slots
@@ -583,6 +636,7 @@ class BypassMailbox(_MailboxBase):
             # Undelivered: no ACK will ever free this slot (see DataMailbox).
             if request in self._outstanding:
                 self._outstanding.remove(request)
+                self._relay_reqs.discard(request)
                 self._slots.release(request)
                 self.failed_count += 1
             raise

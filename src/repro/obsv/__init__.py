@@ -37,6 +37,7 @@ _LAZY_SUBMODULE = {
     "to_chrome_trace": "export",
     "validate_chrome_trace": "export",
     "DesProfiler": "profiler",
+    "Stopwatch": "profiler",
     "SloReport": "slo",
     "SloRule": "slo",
     "SloRuleSet": "slo",
@@ -81,6 +82,7 @@ __all__ = [
     "render_breakdown",
     "render_flamegraph",
     "DesProfiler",
+    "Stopwatch",
     "SloRule",
     "SloRuleSet",
     "SloReport",

@@ -204,24 +204,30 @@ class MetricsRegistry:
         self._series: dict[str, TimeSeries] = {}
         #: ticks taken by a MetricsTicker (diagnostics).
         self.samples_taken = 0
+        #: cached ``(series.append, value_reader)`` pairs for sample();
+        #: rebuilt lazily after any instrument is created.
+        self._sample_plan: Optional[list] = None
 
     # ------------------------------------------------------------ factories
     def counter(self, key: str) -> Counter:
         counter = self._counters.get(key)
         if counter is None:
             counter = self._counters[key] = Counter(key)
+            self._sample_plan = None
         return counter
 
     def gauge(self, key: str) -> Gauge:
         gauge = self._gauges.get(key)
         if gauge is None:
             gauge = self._gauges[key] = Gauge(key)
+            self._sample_plan = None
         return gauge
 
     def meter(self, key: str, window_us: float = 1000.0) -> Meter:
         meter = self._meters.get(key)
         if meter is None:
             meter = self._meters[key] = Meter(key, self.env, window_us)
+            self._sample_plan = None
         return meter
 
     # ---------------------------------------------------------- conveniences
@@ -290,19 +296,39 @@ class MetricsRegistry:
         for key in sorted(self._series):
             yield key, self._series[key]
 
+    def _build_sample_plan(self) -> list:
+        """Bind each instrument to its series once, not once per tick.
+
+        The plan is a list of ``(series.append, read)`` pairs; it is
+        dropped whenever a new instrument is created and rebuilt on the
+        next :meth:`sample`, so a tick costs one callable pair per
+        instrument with no key lookups.
+        """
+        plan: list = []
+        for key, counter in self._counters.items():
+            plan.append((self.series(key).append,
+                         lambda c=counter: float(c.value)))
+        for key, gauge in self._gauges.items():
+            plan.append((self.series(key).append,
+                         lambda g=gauge: float(g.value)))
+        for key, meter in self._meters.items():
+            plan.append((self.series(key).append,
+                         lambda m=meter: m.rate()))
+        self._sample_plan = plan
+        return plan
+
     def sample(self) -> None:
         """Append every instrument's current value to its time series.
 
         Called by the ticker at virtual-time intervals; reads only —
         never schedules — so sampling cannot perturb model state.
         """
+        plan = self._sample_plan
+        if plan is None:
+            plan = self._build_sample_plan()
         now = self.env.now
-        for key, counter in self._counters.items():
-            self.series(key).append(now, float(counter.value))
-        for key, gauge in self._gauges.items():
-            self.series(key).append(now, float(gauge.value))
-        for key, meter in self._meters.items():
-            self.series(key).append(now, meter.rate())
+        for append, read in plan:
+            append(now, read())
         self.samples_taken += 1
 
     # --------------------------------------------------------------- export
@@ -468,6 +494,8 @@ def wire_cluster_metrics(cluster) -> MetricsRegistry:
     registry.gauge("sim.events_dispatched").bind(
         lambda: env.dispatched_events)
     registry.gauge("sim.heap_depth").bind(lambda: len(env._queue))
+    registry.gauge("sim.slab_reused").bind(lambda: env.slab_reused)
+    registry.gauge("sim.slab_recycled").bind(lambda: env.slab_recycled)
     # -- NTB drivers / DMA / doorbells --------------------------------------
     for (_host_id, _side), driver in sorted(cluster._drivers.items()):
         endpoint = driver.endpoint

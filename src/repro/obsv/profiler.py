@@ -30,11 +30,65 @@ from __future__ import annotations
 import time
 from typing import Any, Optional
 
-__all__ = ["DesProfiler"]
+__all__ = ["DesProfiler", "Stopwatch"]
+
+_perf = time.perf_counter
+
+
+class Stopwatch:
+    """Plain wall-clock interval reader for bench harnesses.
+
+    Unlike :class:`DesProfiler` this installs **no** dispatch hook, so the
+    measured loop runs untaxed — the right tool when the *kernel itself*
+    is the benchmark subject (``repro.bench.experiments.kernel``) and the
+    per-event attribution hook would dominate what it measures.  Lives in
+    this module because it is the determinism lint's one sanctioned
+    wall-clock reader.
+    """
+
+    __slots__ = ("_started", "_stopped")
+
+    def __init__(self) -> None:
+        self._started: Optional[float] = None
+        self._stopped: Optional[float] = None
+
+    def start(self) -> "Stopwatch":
+        self._started = _perf()
+        self._stopped = None
+        return self
+
+    def stop(self) -> float:
+        self._stopped = _perf()
+        return self.seconds
+
+    @property
+    def seconds(self) -> float:
+        if self._started is None:
+            return 0.0
+        end = self._stopped if self._stopped is not None else _perf()
+        return end - self._started
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+#: Marker in the type-key cache: this type's key is derived per instance
+#: (Process events are keyed by their name family, not their class).
+_BY_NAME = object()
 
 
 class DesProfiler:
-    """Per-event-type wall-clock attribution over the dispatch loop."""
+    """Per-event-type wall-clock attribution over the dispatch loop.
+
+    The hook itself is on the measured path, so it is kept to one
+    ``perf_counter`` read and a handful of dict operations per event:
+    event keys are interned through two caches (per event *class*, and
+    per Process *name* — the string splits that collapse
+    ``"pe0.put_nbi:3"`` to its family run once per distinct name, not
+    once per event).
+    """
 
     def __init__(self, env):
         self.env = env
@@ -48,6 +102,10 @@ class DesProfiler:
         self._stopped_at: Optional[float] = None
         self._last_stamp: Optional[float] = None
         self._last_key: Optional[str] = None
+        #: event class -> interned key (or _BY_NAME for Process).
+        self._type_keys: dict[type, Any] = {}
+        #: process name -> interned family key.
+        self._name_keys: dict[str, str] = {}
 
     # ------------------------------------------------------------- control
     def install(self) -> None:
@@ -74,17 +132,30 @@ class DesProfiler:
 
     # ---------------------------------------------------------------- hook
     def _on_step(self, env, event) -> None:
-        now = time.perf_counter()
-        self._flush(now)
-        key = type(event).__name__
-        if key == "Process":
+        now = _perf()
+        last = self._last_key
+        if last is not None:
+            seconds = self.event_seconds
+            seconds[last] = seconds.get(last, 0.0) + (now - self._last_stamp)
+        cls = event.__class__
+        key = self._type_keys.get(cls)
+        if key is None:
+            key = cls.__name__
+            self._type_keys[cls] = _BY_NAME if key == "Process" else key
+            if key == "Process":
+                key = _BY_NAME
+        if key is _BY_NAME:
             name = getattr(event, "name", "")
-            # Collapse per-instance names ("pe0.put_nbi", "dma.ch0") to
-            # their family so the table stays readable at scale.
-            key = f"Process:{name.split('.', 1)[-1].split(':', 1)[0]}" \
-                if name else "Process"
+            key = self._name_keys.get(name)
+            if key is None:
+                # Collapse per-instance names ("pe0.put_nbi", "dma.ch0")
+                # to their family so the table stays readable at scale.
+                key = f"Process:{name.split('.', 1)[-1].split(':', 1)[0]}" \
+                    if name else "Process"
+                self._name_keys[name] = key
         self.events += 1
-        self.event_counts[key] = self.event_counts.get(key, 0) + 1
+        counts = self.event_counts
+        counts[key] = counts.get(key, 0) + 1
         self._last_stamp = now
         self._last_key = key
 

@@ -41,9 +41,13 @@ __all__ = ["Span", "ShmemScope", "NullScope", "NULL_SCOPE",
            "instrument_cluster"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
-    """One timed activity.  ``end is None`` while the span is open."""
+    """One timed activity.  ``end is None`` while the span is open.
+
+    Slotted: traced runs allocate one of these per instrumented activity,
+    so the per-instance ``__dict__`` is worth eliding.
+    """
 
     span_id: int
     parent_id: Optional[int]
@@ -141,7 +145,10 @@ class ShmemScope:
         self._seeds: dict[Any, int] = {}
         #: message-value -> FIFO of bound sender span ids.
         self._msg_bind: dict[Hashable, deque[int]] = {}
-        self._by_id: dict[int, Span] = {}
+        #: parent span id (or None for roots) -> children in id order.
+        #: Maintained at open time so children()/roots()/walk() are O(1)
+        #: per span instead of scanning the whole span list.
+        self._kids: dict[Optional[int], list[Span]] = {}
 
     # ------------------------------------------------------------- context
     def _context_key(self) -> Any:
@@ -163,7 +170,7 @@ class ShmemScope:
         span_id = self.current_span_id()
         if span_id is None:
             return ""
-        span = self._by_id[span_id]
+        span = self.spans[span_id - 1]
         return f"{span.track}:{span.name}"
 
     # --------------------------------------------------------------- spans
@@ -186,8 +193,14 @@ class ShmemScope:
             category=category, track=track, start=self.env.now, args=args,
         )
         self._next_id += 1
+        # span_id == index + 1 (ids are dense, spans never removed), so
+        # the spans list doubles as the id lookup table.
         self.spans.append(span)
-        self._by_id[span.span_id] = span
+        kids = self._kids.get(parent)
+        if kids is None:
+            self._kids[parent] = [span]
+        else:
+            kids.append(span)
         return span
 
     def span_close(self, span: Span) -> None:
@@ -239,11 +252,14 @@ class ShmemScope:
         """Message bindings never adopted — lost causality edges."""
         return sum(len(q) for q in self._msg_bind.values())
 
+    def span_by_id(self, span_id: int) -> Span:
+        return self.spans[span_id - 1]
+
     def children(self, span_id: int) -> list[Span]:
-        return [s for s in self.spans if s.parent_id == span_id]
+        return list(self._kids.get(span_id, ()))
 
     def roots(self) -> list[Span]:
-        return [s for s in self.spans if s.parent_id is None]
+        return list(self._kids.get(None, ()))
 
     def walk(self, span: Span) -> Iterator[Span]:
         """Yield ``span`` and all descendants, depth-first, in id order."""

@@ -25,7 +25,7 @@ from typing import Generator, Optional
 from ..obsv.spans import NULL_SCOPE
 from ..sim import Environment, Resource, Tracer
 from .flow_control import CreditConfig, CreditPool
-from .tlp import TlpOverhead, tlp_wire_bytes
+from .tlp import TlpOverhead
 
 __all__ = ["LinkConfig", "Link", "DuplexLink"]
 
@@ -75,23 +75,46 @@ class LinkConfig:
             )
         if self.propagation_delay_us < 0:
             raise ValueError("negative propagation delay")
+        # Precomputed hot-path constants (frozen dataclass, hence the
+        # object.__setattr__).  serialization_time_us is called once per
+        # TLP batch on every transfer, so the per-call property lookups
+        # and TlpOverhead.total recomputation are hoisted here.  The
+        # arithmetic below matches tlp_wire_bytes()/raw_rate_mbps exactly
+        # (integer wire bytes divided by the same rate float), keeping
+        # every golden virtual-time figure bit-identical.
+        gtps = _GEN_RATES_GTPS[self.generation]
+        raw = gtps * 1000.0 / 8.0 * _GEN_ENCODING[self.generation] * self.lanes
+        object.__setattr__(self, "_raw_rate", raw)
+        object.__setattr__(self, "_ovh_total", self.overhead.total)
+        #: small memo for repeated payload sizes (DMA chunk pumps reuse a
+        #: handful of sizes thousands of times).
+        object.__setattr__(self, "_ser_cache", {})
 
     @property
     def raw_rate_mbps(self) -> float:
         """Raw post-encoding link rate in MB/s (== bytes/µs)."""
-        gtps = _GEN_RATES_GTPS[self.generation]
-        return gtps * 1000.0 / 8.0 * _GEN_ENCODING[self.generation] * self.lanes
+        return self._raw_rate
 
     @property
     def effective_rate_mbps(self) -> float:
         """Payload rate accounting for TLP overhead at max_payload."""
-        eff = self.max_payload / (self.max_payload + self.overhead.total)
-        return self.raw_rate_mbps * eff
+        eff = self.max_payload / (self.max_payload + self._ovh_total)
+        return self._raw_rate * eff
 
     def serialization_time_us(self, nbytes: int) -> float:
         """Time to serialize an ``nbytes`` payload (incl. TLP overhead)."""
-        wire = tlp_wire_bytes(nbytes, self.max_payload, self.overhead)
-        return wire / self.raw_rate_mbps
+        cache = self._ser_cache
+        ser = cache.get(nbytes)
+        if ser is None:
+            if nbytes == 0:
+                wire = 0
+            else:
+                mps = self.max_payload
+                wire = nbytes + ((nbytes + mps - 1) // mps) * self._ovh_total
+            ser = wire / self._raw_rate
+            if len(cache) < 4096:
+                cache[nbytes] = ser
+        return ser
 
     def describe(self) -> str:
         return (

@@ -21,7 +21,10 @@ from .core import (
     ProcessGenerator,
     SchedulePolicy,
     Timeout,
+    get_default_queue,
+    set_default_queue,
 )
+from .queues import QUEUE_KINDS, CalendarQueue, HeapQueue, make_queue
 from .errors import (
     EventLifecycleError,
     Interrupt,
@@ -43,6 +46,12 @@ __all__ = [
     "ProcessGenerator",
     "SchedulePolicy",
     "Timeout",
+    "get_default_queue",
+    "set_default_queue",
+    "QUEUE_KINDS",
+    "CalendarQueue",
+    "HeapQueue",
+    "make_queue",
     "EventLifecycleError",
     "Interrupt",
     "SchedulingError",

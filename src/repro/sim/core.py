@@ -10,15 +10,25 @@ Design notes
 * **Virtual time** is a ``float`` in *microseconds*.  All latency numbers in
   the paper's figures are reported in µs, so using µs as the native unit keeps
   the bench harness free of conversions.
-* **Determinism.**  The event heap is keyed by ``(time, priority, sequence)``
-  where ``sequence`` is a monotonically increasing integer.  Two events
-  scheduled for the same instant therefore fire in schedule order, making every
-  simulation run bit-reproducible — a property the test-suite asserts.
+* **Determinism.**  The pending-event queue is keyed by ``(time, priority,
+  sequence)`` where ``sequence`` is a monotonically increasing integer.  Two
+  events scheduled for the same instant therefore fire in schedule order,
+  making every simulation run bit-reproducible — a property the test-suite
+  asserts.  The key is a *total* order, so the queue backend is pluggable:
+  a binary heap and a calendar (bucket) queue are provided
+  (:mod:`repro.sim.queues`) and proven interchangeable by the differential
+  harness in ``tests/sim/test_kernel_equivalence.py``.
 * **Processes are generator coroutines** (SimPy style).  A process yields
   :class:`Event` objects; the kernel resumes it with the event's value (or
   throws the event's exception) once the event triggers.  ``yield from`` is
   used to compose blocking sub-operations, which is how the OpenSHMEM API
   exposes "blocking" calls to user PE programs.
+* **Hot-loop discipline** (docs/SIMULATOR.md).  ``Environment.run`` inlines
+  the dispatch body instead of calling :meth:`Environment.step` per event;
+  processed :class:`Timeout` objects are recycled through a slab free-list
+  when the interpreter's reference count proves nothing else can observe
+  them; and the no-hook / no-policy paths pay a single truthiness check per
+  event — never an iteration, never a callable invocation.
 
 The kernel is intentionally small and dependency-free; higher-level
 synchronization primitives live in :mod:`repro.sim.primitives` and
@@ -27,14 +37,10 @@ synchronization primitives live in :mod:`repro.sim.primitives` and
 
 from __future__ import annotations
 
-import heapq
+import os
+import sys
 from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
-
-# Bound at module level: the scheduler invokes these once per event, so
-# attribute lookups on ``heapq`` show up in profiles at scale.
-_heappush = heapq.heappush
-_heappop = heapq.heappop
 
 from .errors import (
     EventLifecycleError,
@@ -43,6 +49,12 @@ from .errors import (
     SimulationError,
     StopProcess,
 )
+from .queues import QUEUE_KINDS, make_queue
+
+# CPython refcount probe used to prove a processed Timeout is unobservable
+# before recycling it through the slab.  On interpreters without refcounts
+# the slab simply stays disabled (every ``timeout()`` allocates).
+_getrefcount = getattr(sys, "getrefcount", None)
 
 __all__ = [
     "PENDING",
@@ -54,6 +66,8 @@ __all__ = [
     "Timeout",
     "Process",
     "ProcessGenerator",
+    "get_default_queue",
+    "set_default_queue",
 ]
 
 #: Sentinel stored in :attr:`Event._value` while the event has not triggered.
@@ -66,25 +80,59 @@ NORMAL = 1
 #: (e.g. process initialization).
 URGENT = 0
 
+#: Maximum recycled Timeout objects kept per environment.
+_SLAB_MAX = 512
+
 ProcessGenerator = Generator["Event", Any, Any]
+
+#: Process-wide default queue backend.  The calendar queue became the
+#: default in PR 8 once the differential harness proved it byte-identical
+#: to the heap on every covered scenario; ``REPRO_SIM_QUEUE=heap`` (or
+#: :func:`set_default_queue`) selects the classic heap scheduler.
+_DEFAULT_QUEUE = os.environ.get("REPRO_SIM_QUEUE", "calendar").strip().lower()
+if _DEFAULT_QUEUE not in QUEUE_KINDS:  # pragma: no cover - env guard
+    raise ValueError(
+        f"REPRO_SIM_QUEUE={_DEFAULT_QUEUE!r}: expected one of {QUEUE_KINDS}")
+
+
+def get_default_queue() -> str:
+    """The queue backend new :class:`Environment` objects use by default."""
+    return _DEFAULT_QUEUE
+
+
+def set_default_queue(kind: str) -> str:
+    """Set the process-wide default queue backend; returns the previous one.
+
+    Existing environments are unaffected.  The differential test fixture
+    (``kernel`` in ``tests/conftest.py``) uses this to run whole scenarios
+    under each backend.
+    """
+    global _DEFAULT_QUEUE
+    if kind not in QUEUE_KINDS:
+        raise ValueError(
+            f"unknown event queue kind {kind!r} (expected one of "
+            f"{QUEUE_KINDS})")
+    previous = _DEFAULT_QUEUE
+    _DEFAULT_QUEUE = kind
+    return previous
 
 
 class SchedulePolicy:
     """Pluggable tie-break for events scheduled at the same instant.
 
-    The event heap is keyed by ``(time, priority, sequence)``.  With no
+    The event queue is keyed by ``(time, priority, sequence)``.  With no
     policy installed (the default), ties resolve in ``sequence`` order —
-    schedule order — and :meth:`Environment.step` takes a fast path that
-    never materializes the tie set, so ordinary runs stay byte-identical.
+    schedule order — and the dispatch loop takes a fast path that never
+    materializes the tie set, so ordinary runs stay byte-identical.
 
     A policy turns every tie into an explicit *decision point*: the kernel
     collects all queue entries sharing the head's ``(time, priority)`` and
     asks :meth:`choose` which one to process next.  The unchosen entries go
-    back on the heap with their original sequence numbers, so a policy that
+    back on the queue with their original sequence numbers, so a policy that
     always answers ``0`` reproduces the default order exactly.  This is the
     seam :mod:`repro.check` (ShmemCheck) uses to enumerate interleavings.
 
-    :meth:`scheduled` is invoked for every heap push while a policy is
+    :meth:`scheduled` is invoked for every queue push while a policy is
     installed — the hook model checkers use to attribute newly scheduled
     events to the step that created them.
     """
@@ -99,7 +147,7 @@ class SchedulePolicy:
         return 0
 
     def scheduled(self, now: float, priority: int, event: "Event") -> None:
-        """Called after ``event`` is pushed onto the heap (any push site)."""
+        """Called after ``event`` is pushed onto the queue (any push site)."""
 
     def accessed(self, key: object, is_write: bool) -> None:
         """Shared-state access hook (resources, stores, hardware models).
@@ -166,7 +214,7 @@ class Event:
         self._ok = True
         self._value = value
         env = self.env
-        _heappush(env._queue, (env._now, priority, next(env._eid), self))
+        env._push((env._now, priority, next(env._eid), self))
         env.scheduled_events += 1
         if env._policy is not None:
             env._policy.scheduled(env._now, priority, self)
@@ -206,23 +254,26 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` µs after creation."""
+    """An event that triggers ``delay`` µs after creation.
+
+    Timeouts are the single most-constructed object in any run (every cost
+    charge is one), so the constructor inlines ``Event.__init__`` +
+    ``Environment.schedule``, and :meth:`Environment.timeout` recycles
+    processed instances through a slab free-list instead of allocating.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SchedulingError(f"negative timeout delay {delay!r}")
-        # Inlined Event.__init__ + Environment.schedule: timeouts are the
-        # single most-constructed object in any run (every cost charge is
-        # one), so the constructor avoids two extra frame pushes.
         self.env = env
         self.callbacks = []
         self._value = value
         self._ok = True
         self._defused = False
         self.delay = delay
-        _heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
+        env._push((env._now + delay, NORMAL, next(env._eid), self))
         env.scheduled_events += 1
         if env._policy is not None:
             env._policy.scheduled(env._now + delay, NORMAL, self)
@@ -377,24 +428,39 @@ class Process(Event):
 class Environment:
     """The simulation event loop.
 
-    The environment owns virtual time, the pending-event heap and the
+    The environment owns virtual time, the pending-event queue and the
     currently active process.  It is deliberately single-threaded: all
     concurrency in the models is cooperative.
+
+    ``queue`` selects the scheduler backend (``"heap"`` or ``"calendar"``;
+    default: :func:`get_default_queue`).  Both produce the identical
+    ``(time, priority, sequence)`` total order — see :mod:`repro.sim.queues`.
     """
 
     def __init__(self, initial_time: float = 0.0,
-                 schedule_policy: Optional[SchedulePolicy] = None):
+                 schedule_policy: Optional[SchedulePolicy] = None,
+                 queue: Optional[str] = None):
         self._now: float = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue = make_queue(queue or _DEFAULT_QUEUE)
+        #: hot-path bound callables of the queue backend (C-level partials
+        #: for the heap; bound methods for the calendar).
+        self._push = self._queue.push
+        self._pop = self._queue.pop
         self._eid = count()
         self._active_process: Optional[Process] = None
         self._policy: Optional[SchedulePolicy] = schedule_policy
         #: Hooks called as ``hook(env, event)`` just before callbacks run.
+        #: Mutate this list in place (append/remove); the dispatch loop
+        #: holds a reference to it.
         self.step_hooks: list[Callable[["Environment", Event], None]] = []
+        #: Recycled Timeout free-list (see :meth:`timeout`).
+        self._slab: list[Timeout] = []
         #: Lifetime kernel statistics (read by the metrics fabric; plain
         #: ints so the hot paths pay one increment, not a method call).
         self.scheduled_events: int = 0
         self.dispatched_events: int = 0
+        self.slab_reused: int = 0
+        self.slab_recycled: int = 0
 
     # -- time ----------------------------------------------------------------
     @property
@@ -406,6 +472,11 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def queue_kind(self) -> str:
+        """The scheduler backend in use (``"heap"`` | ``"calendar"``)."""
+        return self._queue.kind
 
     @property
     def schedule_policy(self) -> Optional[SchedulePolicy]:
@@ -422,7 +493,26 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` µs from now."""
+        """Create an event that fires ``delay`` µs from now.
+
+        Draws from the slab free-list when a processed Timeout is
+        available; recycling is disabled while a :class:`SchedulePolicy`
+        is installed so model checkers can key state on event identity.
+        """
+        slab = self._slab
+        if slab and self._policy is None:
+            if delay < 0:
+                raise SchedulingError(f"negative timeout delay {delay!r}")
+            timeout = slab.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._defused = False
+            timeout.delay = delay
+            self._push((self._now + delay, NORMAL, next(self._eid), timeout))
+            self.scheduled_events += 1
+            self.slab_reused += 1
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: ProcessGenerator,
@@ -446,27 +536,48 @@ class Environment:
         """Queue a triggered event for processing ``delay`` µs from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay {delay!r}")
-        _heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        self._push((self._now + delay, priority, next(self._eid), event))
         self.scheduled_events += 1
         if self._policy is not None:
             self._policy.scheduled(self._now + delay, priority, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_time()
 
-    def _policy_pop(self) -> tuple[float, int, int, Event]:
+    def _recycle(self, event: Event) -> None:
+        """Return a processed Timeout to the slab if provably unobservable.
+
+        Call with ``event`` as the only remaining reference besides the
+        argument itself: ``sys.getrefcount(event) == 2`` then proves no
+        process, condition or test still holds the object, so reusing it
+        cannot alias a live event.  Conditions that hold constituent
+        events, generators that kept the yielded timeout in a local, and
+        ``run(until=...)`` sentinels all fail the check and simply stay
+        garbage-collected as before.
+        """
+        if (type(event) is Timeout and len(self._slab) < _SLAB_MAX
+                and self._policy is None and _getrefcount is not None
+                and _getrefcount(event) == 3):
+            # 3 == the caller's local + our argument + the temporary ref.
+            event._value = PENDING
+            self._slab.append(event)
+            self.slab_recycled += 1
+
+    def _policy_pop(self) -> tuple:
         """Pop the next entry, letting the policy break (time, prio) ties."""
         queue = self._queue
-        head = _heappop(queue)
+        head = self._pop()
         when, prio = head[0], head[1]
-        if not queue or queue[0][0] != when or queue[0][1] != prio:
+        nxt = queue.peek_entry()
+        if nxt is None or nxt[0] != when or nxt[1] != prio:
             return head
         candidates = [head]
-        while queue and queue[0][0] == when and queue[0][1] == prio:
-            candidates.append(_heappop(queue))
+        while True:
+            nxt = queue.peek_entry()
+            if nxt is None or nxt[0] != when or nxt[1] != prio:
+                break
+            candidates.append(self._pop())
         assert self._policy is not None
         index = self._policy.choose(when, prio, [c[3] for c in candidates])
         if not 0 <= index < len(candidates):
@@ -475,17 +586,17 @@ class Environment:
                 f"{len(candidates)} candidates"
             )
         chosen = candidates.pop(index)
+        push = self._push
         for entry in candidates:
-            _heappush(queue, entry)
+            push(entry)
         return chosen
 
     def step(self) -> None:
         """Process exactly one event, advancing virtual time to it."""
-        queue = self._queue
-        if not queue:
+        if not self._queue:
             raise SimulationError("step() on an empty schedule")
         if self._policy is None:
-            when, _prio, _eid, event = _heappop(queue)
+            when, _prio, _eid, event = self._pop()
         else:
             when, _prio, _eid, event = self._policy_pop()
         self._now = when
@@ -503,6 +614,7 @@ class Environment:
             # Nobody handled the failure: surface it.
             exc = event._value
             raise exc
+        self._recycle(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the loop.
@@ -513,31 +625,102 @@ class Environment:
         * a number — run until virtual time reaches it;
         * an :class:`Event` — run until that event is processed, returning
           its value (raising its exception on failure).
+
+        All three paths dispatch through an inlined hot loop (one Python
+        frame per *run*, not per event) whenever no :class:`SchedulePolicy`
+        is installed; with a policy they fall back to :meth:`step`.
         """
         if until is None:
-            while self._queue:
-                self.step()
+            queue = self._queue
+            # Inlined dispatch body — keep in sync with step().  Queue
+            # exhaustion is signalled by pop() raising IndexError, so the
+            # loop pays no emptiness probe per event.
+            pop = self._pop
+            hooks = self.step_hooks
+            slab = self._slab
+            refcount = _getrefcount or (lambda _o: 0)
+            while True:
+                if self._policy is not None:
+                    if not queue:
+                        break
+                    self.step()
+                    continue
+                try:
+                    when, _prio, _eid, event = pop()
+                except IndexError:
+                    break
+                self._now = when
+                self.dispatched_events += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(self, event)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is None:  # pragma: no cover - defensive
+                    raise EventLifecycleError(f"{event!r} processed twice")
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if (type(event) is Timeout and len(slab) < _SLAB_MAX
+                        and refcount(event) == 2):
+                    event._value = PENDING
+                    slab.append(event)
+                    self.slab_recycled += 1
             return None
 
         if isinstance(until, Event):
             sentinel = until
-            done = {"hit": False}
-
-            def _mark(_event: Event) -> None:
-                done["hit"] = True
-
             if sentinel.callbacks is None:
                 if not sentinel._ok:
                     raise sentinel._value
                 return sentinel._value
+            done = [False]
+
+            def _mark(_event: Event) -> None:
+                done[0] = True
+
             sentinel.callbacks.append(_mark)
-            while not done["hit"]:
-                if not self._queue:
+            queue = self._queue
+            pop = self._pop
+            hooks = self.step_hooks
+            slab = self._slab
+            refcount = _getrefcount or (lambda _o: 0)
+            while not done[0]:
+                if self._policy is not None:
+                    if not queue:
+                        raise SimulationError(
+                            "deadlock: event loop drained before the awaited "
+                            f"event triggered ({sentinel!r})"
+                        )
+                    self.step()
+                    continue
+                # Inlined dispatch body — keep in sync with step().
+                try:
+                    when, _prio, _eid, event = pop()
+                except IndexError:
                     raise SimulationError(
                         "deadlock: event loop drained before the awaited "
                         f"event triggered ({sentinel!r})"
-                    )
-                self.step()
+                    ) from None
+                self._now = when
+                self.dispatched_events += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(self, event)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is None:  # pragma: no cover - defensive
+                    raise EventLifecycleError(f"{event!r} processed twice")
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if (type(event) is Timeout and len(slab) < _SLAB_MAX
+                        and refcount(event) == 2):
+                    event._value = PENDING
+                    slab.append(event)
+                    self.slab_recycled += 1
             if not sentinel._ok:
                 sentinel._defused = True
                 raise sentinel._value
@@ -548,7 +731,40 @@ class Environment:
             raise SchedulingError(
                 f"cannot run until {horizon} µs: already at {self._now} µs"
             )
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        queue = self._queue
+        pop_le = queue.pop_le
+        hooks = self.step_hooks
+        slab = self._slab
+        refcount = _getrefcount or (lambda _o: 0)
+        while True:
+            if self._policy is not None:
+                if queue.peek_time() > horizon:
+                    break
+                self.step()
+                continue
+            entry = pop_le(horizon)
+            if entry is None:
+                break
+            # Inlined dispatch body — keep in sync with step().
+            when, _prio, _eid, event = entry
+            del entry
+            self._now = when
+            self.dispatched_events += 1
+            if hooks:
+                for hook in hooks:
+                    hook(self, event)
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks is None:  # pragma: no cover - defensive
+                raise EventLifecycleError(f"{event!r} processed twice")
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if (type(event) is Timeout and len(slab) < _SLAB_MAX
+                    and refcount(event) == 2):
+                event._value = PENDING
+                slab.append(event)
+                self.slab_recycled += 1
         self._now = horizon
         return None

@@ -1,0 +1,62 @@
+"""16-host ring stress: chaos + tracing at scale, gated on BENCH_PR8.json.
+
+The slow tests replay the PR-8 benchmark's 16-host scenario — a seeded
+cable sever mid-run with span tracing on — once per queue backend (the
+``kernel`` fixture) and pin the deterministic virtual-time figures
+against the checked-in ``BENCH_PR8.json``.  Wall-clock events/sec is
+machine-dependent and only gated against the reference's floor
+fraction, same convention as the PR-7 metrics gate.
+
+Run with ``-m "not slow"`` to skip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments.kernel import run_stress_16host
+
+_REFERENCE = Path(__file__).resolve().parents[2] / "BENCH_PR8.json"
+
+
+@pytest.fixture(scope="module")
+def reference() -> dict:
+    with _REFERENCE.open() as fh:
+        return json.load(fh)
+
+
+@pytest.mark.slow
+class TestStress16Host:
+    def test_stress_matches_reference_per_kernel(self, kernel, reference):
+        result = run_stress_16host(seed=42)
+        assert result["final_ok"], (
+            "post-recovery data verification failed on at least one PE")
+
+        # Deterministic virtual figures: exact, per backend.
+        want = reference["virtual"]
+        got = result["virtual"]
+        assert got["elapsed_us"] == want["elapsed_us"]
+        assert got["events_dispatched"] == want["events_dispatched"]
+        assert got["spans"] == want["spans"]
+        assert got["rounds_ok"] == want["rounds_ok"]
+        assert got["degraded"] == want["degraded"]
+
+        # Wall clock: floor-fraction gate only (shared runners are slow).
+        floor = (reference["events_per_sec_floor"]
+                 * reference["stress_16host"]["events_per_sec"])
+        assert result["events_per_sec"] >= floor, (
+            f"throughput {result['events_per_sec']:,.0f} events/sec under "
+            f"the floor {floor:,.0f} (={reference['events_per_sec_floor']}x "
+            "recorded)")
+
+
+def test_reference_is_checked_in():
+    assert _REFERENCE.exists(), "BENCH_PR8.json missing from the repo root"
+    with _REFERENCE.open() as fh:
+        payload = json.load(fh)
+    assert payload["schema"] == "bench-pr8/v1"
+    assert payload["speedup_vs_pr7_profile"] >= 3.0
+    assert payload["default_queue"] == "calendar"

@@ -1,0 +1,176 @@
+"""Property-based equivalence of the heap and calendar event queues.
+
+Three layers, from bare data structure to full kernel:
+
+* random push/pop/pop_le/peek op sequences applied to both backends in
+  lock-step must produce identical outputs — times are drawn from a
+  small grid so same-timestamp ties (the dangerous case) are the norm,
+  not the exception;
+* random process forests with quantized delays, cancellation
+  (``Process.interrupt``) and post-interrupt rescheduling must produce
+  identical dispatch logs under ``Environment(queue="heap")`` and
+  ``Environment(queue="calendar")``;
+* the same holds with a :class:`SchedulePolicy` installed whose
+  tie-break is deterministic but non-default — the policy must see the
+  same decision points (same candidates, same order) on both backends.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim import Environment
+from repro.sim.core import NORMAL, URGENT, SchedulePolicy
+from repro.sim.errors import Interrupt
+from repro.sim.queues import CalendarQueue, HeapQueue
+
+_SETTINGS = settings(
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+
+#: coarse time grid → heavy tie pressure on (time, priority, seq) order.
+_TIMES = st.sampled_from(
+    [0.0, 0.25, 0.5, 1.0, 1.0, 2.5, 7.0, 7.0, 40.0, 999.75])
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _TIMES,
+                  st.sampled_from([NORMAL, URGENT])),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("pop_le"), _TIMES),
+        st.tuples(st.just("peek")),
+    ),
+    min_size=1, max_size=120,
+)
+
+
+class TestQueueOpSequences:
+    @_SETTINGS
+    @given(_OPS)
+    def test_op_sequences_observationally_identical(self, ops):
+        heap, cal = HeapQueue(), CalendarQueue()
+        seq = 0
+        for op in ops:
+            if op[0] == "push":
+                entry = (op[1], op[2], seq, f"ev{seq}")
+                seq += 1
+                heap.push(entry)
+                cal.push(entry)
+            elif op[0] == "pop":
+                if heap:
+                    assert heap.pop() == cal.pop()
+            elif op[0] == "pop_le":
+                assert heap.pop_le(op[1]) == cal.pop_le(op[1])
+            else:
+                assert heap.peek_entry() == cal.peek_entry()
+                assert heap.peek_time() == cal.peek_time()
+            assert len(heap) == len(cal)
+            assert bool(heap) == bool(cal)
+        while heap:
+            assert heap.pop() == cal.pop()
+        assert not cal
+
+
+#: (initial delay, hops, per-hop delay) on a quantized grid (ties!).
+_FOREST = st.lists(
+    st.tuples(
+        st.sampled_from([0.0, 0.5, 1.0, 2.0, 2.0, 5.0]),
+        st.integers(1, 5),
+        st.sampled_from([0.5, 1.0, 1.0, 2.5]),
+    ),
+    min_size=1, max_size=10,
+)
+
+#: which workers get interrupted, and when (grid again).
+_CANCELS = st.lists(
+    st.tuples(st.integers(0, 9), st.sampled_from([0.25, 1.0, 2.0, 3.5])),
+    max_size=4,
+)
+
+
+def _forest_log(queue_kind, specs, cancels, policy_factory=None):
+    env = Environment(queue=queue_kind)
+    if policy_factory is not None:
+        env.schedule_policy = policy_factory()
+    log: list = []
+    procs = []
+
+    def worker(tag, delay0, hops, per_hop):
+        try:
+            yield env.timeout(delay0)
+            for hop in range(hops):
+                yield env.timeout(per_hop)
+                log.append(("hop", round(env.now, 9), tag, hop))
+        except Interrupt:
+            # cancelled: reschedule one final quantized step, then stop.
+            log.append(("intr", round(env.now, 9), tag))
+            try:
+                yield env.timeout(1.0)
+                log.append(("resched", round(env.now, 9), tag))
+            except Interrupt:  # cancelled again mid-reschedule
+                log.append(("intr2", round(env.now, 9), tag))
+
+    def canceller(victim, at):
+        yield env.timeout(at)
+        if victim.is_alive and victim.target is not None:
+            victim.interrupt("cancel")
+            log.append(("cancel", round(env.now, 9)))
+
+    for tag, (delay0, hops, per_hop) in enumerate(specs):
+        procs.append(env.process(worker(tag, delay0, hops, per_hop)))
+    for victim_idx, at in cancels:
+        env.process(canceller(procs[victim_idx % len(procs)], at))
+    env.run()
+    return log, env.now, env.dispatched_events
+
+
+class TestKernelForestEquivalence:
+    @_SETTINGS
+    @given(_FOREST, _CANCELS)
+    def test_schedule_cancel_reschedule_drain_identically(
+            self, specs, cancels):
+        heap = _forest_log("heap", specs, cancels)
+        cal = _forest_log("calendar", specs, cancels)
+        assert heap == cal
+
+
+class _RecordingPolicy(SchedulePolicy):
+    """Deterministic non-default tie-break: run the *last* candidate.
+
+    Records every decision point so the test can assert both backends
+    presented the same ties in the same order.
+    """
+
+    def __init__(self):
+        self.decisions: list = []
+        self.pushes = 0
+
+    def choose(self, now, priority, candidates):
+        self.decisions.append(
+            (round(now, 9), priority, len(candidates)))
+        return len(candidates) - 1
+
+    def scheduled(self, now, priority, event):
+        self.pushes += 1
+
+
+class TestPolicyTieBreakEquivalence:
+    @_SETTINGS
+    @given(_FOREST, _CANCELS)
+    def test_policy_sees_identical_decision_points(self, specs, cancels):
+        policies = {}
+
+        def factory_for(kind):
+            def factory():
+                policies[kind] = _RecordingPolicy()
+                return policies[kind]
+            return factory
+
+        heap = _forest_log("heap", specs, cancels, factory_for("heap"))
+        cal = _forest_log("calendar", specs, cancels,
+                          factory_for("calendar"))
+        assert heap == cal
+        assert policies["heap"].decisions == policies["calendar"].decisions
+        assert policies["heap"].pushes == policies["calendar"].pushes
