@@ -14,6 +14,9 @@ Options::
     python -m repro.bench --metrics --check BENCH_PR7.json  # CI gate
     python -m repro.bench --kernel        # DES kernel throughput bench
     python -m repro.bench --kernel --check BENCH_PR8.json   # CI gate
+    python -m repro.bench --topology      # ring/mesh/torus scaling sweep
+    python -m repro.bench --topology --topology-full        # + 64 hosts
+    python -m repro.bench --topology --check BENCH_PR9.json # CI gate
 """
 
 from __future__ import annotations
@@ -93,6 +96,15 @@ def main(argv: list[str] | None = None) -> int:
                              "legacy step driver), 16-host chaos+traced "
                              "stress and the PR-7 profile rerun; writes "
                              "BENCH_PR8.json unless --check is given")
+    parser.add_argument("--topology", action="store_true",
+                        help="ring/mesh/torus scaling sweep: antipodal "
+                             "put/get/barrier latency + bisection "
+                             "throughput at N=4/16 plus a fault-injected "
+                             "mesh reroute scenario; writes BENCH_PR9.json "
+                             "unless --check is given")
+    parser.add_argument("--topology-full", action="store_true",
+                        help="with --topology: include the slow 64-host "
+                             "tier (ring64/mesh8x8/torus4x4x4)")
     parser.add_argument("--snapshot", metavar="PATH",
                         help="with --metrics: also write the registry "
                              "snapshot JSON (repro-metrics/v1) for "
@@ -108,6 +120,24 @@ def main(argv: list[str] | None = None) -> int:
                              "writing; fails on any virtual-time metric "
                              "regressing beyond the recorded tolerance")
     args = parser.parse_args(argv)
+
+    if args.topology:
+        from .experiments.topology import check_against as topology_check, \
+            run_topology_bench
+
+        t0 = time.perf_counter()
+        result = run_topology_bench(include_slow=args.topology_full)
+        print(result.render())
+        print(f"\nwall time: {time.perf_counter() - t0:.1f}s; "
+              "latencies/throughputs are virtual-time measurements")
+        if args.check:
+            check = topology_check(result, args.check)
+            print(check.render())
+            return 0 if check.ok and result.targets_pass else 1
+        out = args.out or "BENCH_PR9.json"
+        result.write(out)
+        print(f"wrote {out}")
+        return 0 if result.targets_pass else 1
 
     if args.kernel:
         from .experiments.kernel import check_against as kernel_check, \

@@ -15,6 +15,7 @@ from .fig8 import Fig8Result, run_fig8
 from .fig9 import CONFIGS, Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
 from .table1 import Table1Result, run_table1
+from .topology import TopologyBenchResult, run_topology_bench
 
 __all__ = [
     "run_barrier_ablation",
@@ -36,4 +37,6 @@ __all__ = [
     "run_fig10",
     "Table1Result",
     "run_table1",
+    "TopologyBenchResult",
+    "run_topology_bench",
 ]

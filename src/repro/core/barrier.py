@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Generator, Optional
 
-from ..fabric import ChainTopology, RingTopology
+from ..fabric import ChainTopology, GridTopology, RingTopology
 from ..ntb import LinkDownError
 from ..sim import Signal
 from .errors import PeerUnreachableError, ProtocolError, ShmemError
@@ -57,6 +57,10 @@ __all__ = ["make_barrier", "RingBarrier", "ChainBarrier",
 #: Degraded-mode message subtypes carried in BARRIER_MSG aux (low byte).
 _MSG_ARRIVE = 0
 _MSG_RELEASE = 1
+
+#: Dissemination aux low byte: round index, plus a high bit marking a
+#: *nudge* — "re-send me your (generation, round) notification".
+_DISSEM_NUDGE = 0x80
 
 
 class _TokenBarrier:
@@ -376,13 +380,33 @@ class DisseminationBarrier:
     Round k: notify PE ``(me + 2^k) mod N``; wait for the notification from
     ``(me - 2^k) mod N``.  Notifications are tagged (generation, round) in
     ``aux`` so early arrivals from fast peers are banked, never lost.
+
+    Fault behavior: a notification posted into a cable at the instant it
+    is cut is silently dropped (posted-write semantics, docs/FAULTS.md),
+    and the victim's wait has nothing to time it out — the sender stays
+    perfectly routable, so a doomed-predicate alone never fires.  Under a
+    fault layer each round therefore waits in bounded **resend windows**:
+    on expiry the waiter re-sends its own notification (keyed and
+    idempotent) and *nudges* its round sender to re-send the missing one.
+    The nudge is load-bearing — the sender may have completed this whole
+    generation before the cut's damage surfaced (dissemination lets a
+    subset of PEs finish while others stall), so only a request/response
+    can recover, exactly like the ring watermark's targeted re-RELEASE.
+    Fault-free runs take the bare-yield path and stay byte-identical.
     """
+
+    #: µs a fault-aware round waits before re-sending + nudging; sized
+    #: past worst-case heartbeat detection (~2 ms at the defaults) so a
+    #: cut is usually already marked when the first resend reroutes.
+    RESEND_US = 2_500.0
 
     def __init__(self, runtime: "ShmemRuntime"):
         self.rt = runtime
         self._arrived: dict[tuple[int, int], int] = {}
         self._signal = Signal(runtime.env, name=f"{runtime.name}.dissem")
         self.generation = 0
+        #: round currently being waited on, ``None`` outside ``wait()``.
+        self._round: Optional[int] = None
 
     def on_token(self, side: str, kind: str) -> None:  # pragma: no cover
         raise ProtocolError(
@@ -391,10 +415,57 @@ class DisseminationBarrier:
 
     def on_notify(self, msg: Message) -> None:
         gen = (msg.aux >> 8) & 0xFFFFFF
-        rnd = msg.aux & 0xFF
-        key = (gen, rnd)
-        self._arrived[key] = self._arrived.get(key, 0) + 1
-        self._signal.fire(key)
+        low = msg.aux & 0xFF
+        rnd = low & (_DISSEM_NUDGE - 1)
+        if low & _DISSEM_NUDGE:
+            self._on_nudge(msg.src_pe, gen, rnd)
+            return
+        if gen < self.generation or (
+                gen == self.generation and self._round is not None
+                and rnd < self._round):
+            return  # duplicate of an already-consumed notification
+        # Exactly one legitimate sender per key: resent duplicates clamp
+        # instead of counting, so a recovery re-send can never satisfy a
+        # later generation's round.
+        self._arrived[(gen, rnd)] = 1
+        self._signal.fire((gen, rnd))
+
+    def _on_nudge(self, requester: int, gen: int, rnd: int) -> None:
+        """Synchronous (service dispatch): a stalled waiter asks us to
+        re-send our (gen, rnd) notification — its copy was cut mid-flight.
+        Re-send only if we already passed the original send point;
+        otherwise the normal send is still coming and the nudge is early.
+        """
+        sent = (self.generation > gen
+                or (self.generation == gen and self._round is not None
+                    and self._round >= rnd))
+        if not sent:
+            return
+        rt = self.rt
+        rt.env.process(
+            self._renotify_task(requester, gen, rnd),
+            name=f"{rt.name}.dissem.renotify{requester}",
+        )
+
+    def _renotify_task(self, dest: int, gen: int, rnd: int) -> Generator:
+        try:
+            yield from self._send_notify(dest, gen, rnd)
+        except (LinkDownError, PeerUnreachableError):
+            pass  # the waiter nudges again
+
+    def _send_notify(self, dest: int, gen: int, rnd: int,
+                     nudge: bool = False) -> Generator:
+        rt = self.rt
+        route = rt.route_to(dest)
+        link = rt.link_for(route.direction)
+        msg = Message(
+            kind=MsgKind.BARRIER_MSG, mode=Mode.DMA,
+            src_pe=rt.my_pe_id, dest_pe=dest, offset=0, size=0,
+            aux=((gen & 0xFFFFFF) << 8)
+            | (rnd | _DISSEM_NUDGE if nudge else rnd),
+            seq=link.data_mailbox.next_seq(),
+        )
+        yield from link.data_mailbox.send(msg)
 
     def on_link_event(self) -> None:
         """Notifications are generation-tagged: nothing to drain."""
@@ -413,33 +484,54 @@ class DisseminationBarrier:
         n = rt.n_pes
         gen = self.generation
         rounds = max(1, math.ceil(math.log2(n))) if n > 1 else 0
+        # An explicit reply deadline keeps its documented "raise, don't
+        # retry" contract; otherwise wait in resend windows (see class
+        # docstring).  Fault-free, remote_wait ignores the timeout.
+        window = (self.RESEND_US
+                  if rt.config.reply_timeout_us is None else None)
         for rnd in range(rounds):
+            self._round = rnd
             partner = (rt.my_pe_id + (1 << rnd)) % n
+            sender = (rt.my_pe_id - (1 << rnd)) % n
             if partner != rt.my_pe_id:
                 # Same flush rule as the token barrier: do not let our
                 # notification overtake data we are relaying.
                 yield from rt.forwarding_quiesce()
-                route = rt.route_to(partner)
-                link = rt.link_for(route.direction)
-                msg = Message(
-                    kind=MsgKind.BARRIER_MSG, mode=Mode.DMA,
-                    src_pe=rt.my_pe_id, dest_pe=partner,
-                    offset=0, size=0,
-                    aux=((gen & 0xFFFFFF) << 8) | rnd,
-                    seq=link.data_mailbox.next_seq(),
-                )
-                yield from link.data_mailbox.send(msg)
+                yield from self._send_notify(partner, gen, rnd)
             key = (gen, rnd)
             while self._arrived.get(key, 0) < 1:
-                yield from remote_wait(
-                    rt, self._signal.wait(),
-                    what=f"dissemination round {rnd} notification",
-                    doomed=lambda p=partner: self._partner_doomed(p),
-                )
-            self._arrived[key] -= 1
-            if self._arrived[key] == 0:
-                del self._arrived[key]
-        self.generation += 1
+                try:
+                    yield from remote_wait(
+                        rt, self._signal.wait(),
+                        what=f"dissemination round {rnd} notification",
+                        doomed=lambda p=partner, s=sender: (
+                            self._partner_doomed(p)
+                            or self._partner_doomed(s)),
+                        timeout_us=window, peer=sender,
+                    )
+                except PeerUnreachableError:
+                    doom = (self._partner_doomed(partner)
+                            or self._partner_doomed(sender))
+                    if doom is not None or window is None:
+                        raise
+                    # Resend window expired with both peers routable:
+                    # a notification was lost mid-flight.  Re-send ours
+                    # and ask the sender for theirs; a cable dying
+                    # under the resend just waits for the detector.
+                    try:
+                        if partner != rt.my_pe_id:
+                            yield from self._send_notify(partner, gen, rnd)
+                        if sender != rt.my_pe_id:
+                            yield from self._send_notify(
+                                sender, gen, rnd, nudge=True)
+                    except LinkDownError:
+                        pass
+            self._arrived.pop(key, None)
+        self.generation = gen + 1
+        self._round = None
+        # Purge duplicates banked after their key was consumed.
+        for key in [k for k in self._arrived if k[0] <= gen]:
+            del self._arrived[key]
 
 
 class CentralizedBarrier:
@@ -511,6 +603,10 @@ def make_barrier(runtime: "ShmemRuntime"):
         return ChainBarrier(runtime)
     if isinstance(runtime.topology, RingTopology):
         return RingBarrier(runtime)
+    if isinstance(runtime.topology, GridTopology):
+        # Grids have no token to circulate; dissemination's pairwise
+        # notifies route dimension-order like any other message.
+        return DisseminationBarrier(runtime)
     raise ShmemError(  # pragma: no cover - defensive
         f"no barrier strategy for {runtime.topology!r}"
     )

@@ -69,6 +69,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
+from ..fabric import NoRouteError
 from ..memory import PhysSegment
 from ..ntb import LinkDownError
 from ..ntb.device import BYPASS_WINDOW, DATA_WINDOW
@@ -374,15 +375,19 @@ class CoalescingService(ShmemService):
         if channel != "bypass" or not fp.cut_through:
             yield from super()._forward(msg, in_link, payload_phys, channel)
             return
-        out_link = self._out_link(in_link)
-        next_pe = rt.neighbor_pe(out_link.direction)
-        if rt.dead_edges \
-                and rt._edge_for_side(out_link.side) in rt.dead_edges:
+        try:
+            out_link = self._out_link(in_link, msg.dest_pe)
+        except NoRouteError:
+            out_link = None
+        if out_link is None or (
+                rt.dead_edges
+                and rt._edge_for_side(out_link.side) in rt.dead_edges):
             # Same posted-fabric semantics as the baseline hop.
             yield from self._ack(in_link, channel)
             self.dropped_forwards += 1
             rt.tracer.count(f"{rt.name}.fwd_dropped")
             return
+        next_pe = rt.neighbor_pe(out_link.direction)
         if msg.flags & FLAG_INLINE:
             yield from self._forward_inline(msg, in_link, out_link, next_pe,
                                             payload_phys, channel)

@@ -29,12 +29,17 @@ import numpy as np
 from ..fabric import (
     Cluster,
     Direction,
+    GridTopology,
     HeartbeatConfig,
     HeartbeatMonitor,
     LinkState,
+    NoRouteError,
     Route,
     RoutingPolicy,
+    make_router,
 )
+from ..fabric.router import ROUTER_NAMES
+from ..fabric.topology import PortLike
 if TYPE_CHECKING:  # faults loads lazily: only runs configured with a plan
     from ..faults import FaultInjector, FaultPlan  # noqa: F401
     from .fastpath import FastpathConfig  # noqa: F401  (opt-in module)
@@ -135,6 +140,12 @@ class ShmemConfig:
     bypass_slots: int = 2
     get_chunk: int = 8 * 1024
     routing: RoutingPolicy = RoutingPolicy.FIXED_RIGHT
+    #: Router selection (repro.fabric.router): None keeps the fabric
+    #: defaults — rings/chains route by ``routing`` (byte-identical to
+    #: the historical inline logic), meshes/tori route dimension-order.
+    #: Explicit names: "fixed_right" | "shortest" | "dimension_order" |
+    #: "adaptive" (congestion-aware minimal routing).
+    router: Optional[str] = None
     barrier: str = "ring"
     default_mode: Mode = Mode.DMA
     #: µs between ScratchPad polls during the init handshake.
@@ -191,6 +202,10 @@ class ShmemConfig:
             raise ValueError("get_chunk too small")
         if self.barrier not in ("ring", "dissemination", "centralized"):
             raise ValueError(f"unknown barrier strategy {self.barrier!r}")
+        if self.router is not None and self.router not in ROUTER_NAMES:
+            raise ValueError(
+                f"unknown router {self.router!r} "
+                f"(expected one of {ROUTER_NAMES})")
         if self.sanitize not in (None, "strict", "report"):
             raise ValueError(
                 f"sanitize must be None, 'strict' or 'report', "
@@ -220,7 +235,7 @@ class ShmemConfig:
 class LinkEnd:
     """Everything a runtime holds for one of its adapters."""
 
-    side: str                      # "left" | "right"
+    side: str                      # topology port: "left"/"right"/"x+"/...
     driver: NtbDriver
     data_mailbox: DataMailbox      # outgoing, via this adapter
     bypass_mailbox: BypassMailbox  # outgoing, via this adapter
@@ -231,8 +246,14 @@ class LinkEnd:
     peer_host_id: Optional[int] = None
 
     @property
-    def direction(self) -> Direction:
-        return Direction.RIGHT if self.side == "right" else Direction.LEFT
+    def direction(self) -> PortLike:
+        """Ring/chain ports keep their Direction spelling; grid ports
+        are plain port strings."""
+        if self.side == "right":
+            return Direction.RIGHT
+        if self.side == "left":
+            return Direction.LEFT
+        return self.side
 
 
 @dataclass
@@ -249,7 +270,7 @@ class PendingGet:
     #: target PE and route at issue time, so a link-death handler can
     #: tell which pending requests just lost their path.
     pe: int = 0
-    direction: Optional[Direction] = None
+    direction: Optional[PortLike] = None
     hops: int = 0
 
 
@@ -261,7 +282,7 @@ class PendingAmo:
     done: Event
     started_at: float = 0.0
     pe: int = 0
-    direction: Optional[Direction] = None
+    direction: Optional[PortLike] = None
     hops: int = 0
 
 
@@ -282,6 +303,10 @@ class ShmemRuntime:
         self.config = config or ShmemConfig()
         self.host: Host = cluster.host(host_id)
         self.topology = cluster.topology
+        #: pluggable route resolver (repro.fabric.router); the default
+        #: selection reproduces the historical inline routing exactly.
+        self.router = make_router(
+            self.topology, self.config.routing, self.config.router)
         self.my_pe_id = host_id
         self.n_pes = cluster.n_hosts
         self.name = f"pe{host_id}"
@@ -316,7 +341,8 @@ class ShmemRuntime:
         self.metrics = registry.scoped(self.name)
         for key, stat in (("puts", "put_count"), ("gets", "get_count"),
                           ("amos", "amo_count"), ("retries", "retries"),
-                          ("reroutes", "reroutes")):
+                          ("reroutes", "reroutes"),
+                          ("route_fallbacks", "route_fallbacks")):
             self.metrics.gauge(key).bind(lambda s=stat: getattr(self, s))
         #: Wait-for graph (cluster singleton, installed by ShmemCheck's
         #: runner before runtimes are built; None on ordinary runs).  Every
@@ -363,6 +389,10 @@ class ShmemRuntime:
         self.heartbeats: dict[str, HeartbeatMonitor] = {}
         self._link_watchers: list = []
         self.reroutes = 0
+        #: routes where the policy direction was structurally unavailable
+        #: (FIXED_RIGHT on a chain crossing the gap leftward) — a real
+        #: routing decision chain runs used to under-report.
+        self.route_fallbacks = 0
         self.retries = 0
         self.fault_injector: Optional[FaultInjector] = None
         hb = self.config.heartbeat
@@ -393,8 +423,10 @@ class ShmemRuntime:
         """``shmem_init()`` — the four-step bring-up of §III-B.1."""
         if self.initialized:
             raise ShmemError(f"{self.name}: double shmem_init")
-        # Step 1a: enumerate adapters if the cluster has not yet.
-        for side in ("left", "right"):
+        # Step 1a: enumerate adapters if the cluster has not yet.  Ports
+        # come up in PORT_ORDER — ("left", "right") on rings/chains,
+        # axis pairs ("x-", "x+", ...) on grids.
+        for side in self.topology.PORT_ORDER:
             if not self.cluster.has_adapter(self.my_pe_id, side):
                 continue
             driver = self.cluster.driver(self.my_pe_id, side)
@@ -488,10 +520,16 @@ class ShmemRuntime:
         """Step 1 + 3: allocate receive buffers, program translations."""
         cfg = self.config
         rx_data = self.host.alloc_pinned(cfg.rx_data_size)
-        out_block = SPAD_BLOCK_RIGHTWARD if side == "right" \
+        # Positive ports transmit in the RIGHTWARD ScratchPad block and
+        # listen in the LEFTWARD one (the peer's positive-port TX);
+        # negative ports mirror.  On rings this is exactly the historical
+        # right/left block split; on grids each axis cable reuses the
+        # same two blocks of its own adapter pair.
+        positive = self.topology.port_polarity(side)
+        out_block = SPAD_BLOCK_RIGHTWARD if positive \
             else SPAD_BLOCK_LEFTWARD
-        in_block = SPAD_BLOCK_RIGHTWARD if side == "left" \
-            else SPAD_BLOCK_LEFTWARD
+        in_block = SPAD_BLOCK_LEFTWARD if positive \
+            else SPAD_BLOCK_RIGHTWARD
         fp = cfg.fastpath
         if fp is not None:
             # Deferred import: the paper-faithful stack never loads the
@@ -564,8 +602,12 @@ class ShmemRuntime:
         yield from driver.program_incoming(
             BYPASS_WINDOW, link.rx_bypass.phys, link.rx_bypass.nbytes
         )
-        peer_side_bit = 1 if link.side == "left" else 0  # peer's opposite side
-        peer_requester = (link.peer_host_id << 8) | peer_side_bit
+        # The peer talks through the opposite-polarity port of this
+        # cable; its requester-id function number is that port's index
+        # (left=0, right=1 historically; grid ports follow PORT_ORDER).
+        peer_port = self.topology.opposite_port(link.side)
+        peer_fn = self.topology.PORT_ORDER.index(peer_port)
+        peer_requester = (link.peer_host_id << 8) | peer_fn
         yield from driver.add_lut_entry(peer_requester, self.my_pe_id)
 
     def _await_ready(self, link: LinkEnd) -> Generator:
@@ -690,8 +732,9 @@ class ShmemRuntime:
         finally:
             graph.unblock(token)
 
-    def link_for(self, direction: Direction) -> LinkEnd:
-        side = direction.value
+    def link_for(self, direction: PortLike) -> LinkEnd:
+        side = direction.value if isinstance(direction, Direction) \
+            else direction
         try:
             return self.links[side]
         except KeyError:
@@ -699,35 +742,46 @@ class ShmemRuntime:
                 f"{self.name}: no {side} adapter for routing"
             ) from None
 
-    def neighbor_pe(self, direction: Direction) -> Optional[int]:
+    def neighbor_pe(self, direction: PortLike) -> Optional[int]:
         return self.topology.neighbor(self.my_pe_id, direction)
 
-    def route_to(self, pe: int) -> Route:
-        """Resolve a route, steering around edges declared dead.
+    def _port_load(self, port: str) -> float:
+        """Live congestion estimate the adaptive router consults per hop:
+        in-flight traffic plus credit waiters on the port's mailboxes
+        (the post-hoc ``link_utilisation`` sampler tells the same story
+        offline from ``link_transit`` spans)."""
+        link = self.links.get(port)
+        if link is None:
+            return float("inf")
+        dm, bm = link.data_mailbox, link.bypass_mailbox
+        return (dm.in_flight + bm.in_flight
+                + dm._slots.queue_length + bm._slots.queue_length)
 
-        The fault-free fast path is byte-identical to the pre-fault
+    def route_to(self, pe: int) -> Route:
+        """Resolve a route via the pluggable router, steering around
+        edges declared dead.
+
+        The fault-free fast path is byte-identical to the pre-router
         runtime: with no dead edges the policy route is returned
-        untouched.  A blocked policy route falls back to the opposite
-        direction (the long way around the ring); no live path raises
-        :class:`PeerUnreachableError`.
+        untouched.  A blocked route triggers the router's alternate-path
+        search (the opposite way around a ring, a BFS detour on grids);
+        no live path raises :class:`PeerUnreachableError` promptly.
         """
-        route = self.topology.route(self.my_pe_id, pe, self.config.routing)
-        if not self.dead_edges:
-            return route
-        if not self._route_blocked(route):
-            return route
-        alt_hops = self.topology.hops(
-            self.my_pe_id, pe, route.direction.opposite)
-        if alt_hops is not None:
-            alt = Route(route.direction.opposite, alt_hops)
-            if not self._route_blocked(alt):
-                self.reroutes += 1
-                self.tracer.count(f"{self.name}.reroute")
-                return alt
-        raise PeerUnreachableError(
-            f"{self.name}: no live route to PE {pe} "
-            f"(dead edges: {sorted(self.dead_edges)})"
-        )
+        try:
+            route = self.router.resolve(
+                self.my_pe_id, pe, self.dead_edges, load=self._port_load)
+        except NoRouteError:
+            raise PeerUnreachableError(
+                f"{self.name}: no live route to PE {pe} "
+                f"(dead edges: {sorted(self.dead_edges)})"
+            ) from None
+        if route.fallback:
+            self.route_fallbacks += 1
+            self.tracer.count(f"{self.name}.route_fallback")
+        if route.rerouted:
+            self.reroutes += 1
+            self.tracer.count(f"{self.name}.reroute")
+        return route
 
     # -------------------------------------------------------- fault handling
     def _start_failure_detector(self) -> None:
@@ -773,29 +827,29 @@ class ShmemRuntime:
 
     def _edge_for_side(self, side: str) -> tuple[int, int]:
         """The directed cable name for one of my adapters."""
-        if side == "right":
-            nxt = self.neighbor_pe(Direction.RIGHT)
-            assert nxt is not None
-            return (self.my_pe_id, nxt)
-        prev = self.neighbor_pe(Direction.LEFT)
-        assert prev is not None
-        return (prev, self.my_pe_id)
+        edge = self.topology.edge_for(self.my_pe_id, side)
+        assert edge is not None
+        return edge
 
-    def _route_blocked(self, route: Route) -> bool:
-        """Does ``route`` (starting at me) cross a dead edge?"""
+    def _route_blocked(self, route: Route, dst: Optional[int] = None) -> bool:
+        """Does ``route`` (starting at me, toward ``dst``) cross a dead
+        edge?  Without ``dst`` the walk is the 1D straight line in
+        ``route.direction``; with it, the router reconstructs the
+        issue-time path (first port, then canonical next hops)."""
         if not self.dead_edges:
             return False
-        node = self.my_pe_id
-        for _ in range(route.hops):
-            nxt = self.topology.neighbor(node, route.direction)
-            if nxt is None:
-                return True
-            edge = (node, nxt) if route.direction is Direction.RIGHT \
-                else (nxt, node)
-            if edge in self.dead_edges:
-                return True
-            node = nxt
-        return False
+        if dst is None:
+            node = self.my_pe_id
+            for _ in range(route.hops):
+                edge = self.topology.edge_for(node, route.port)
+                if edge is None or edge in self.dead_edges:
+                    return True
+                node = self.topology.neighbor(node, route.port)
+            return False
+        edges = self.router.route_edges(self.my_pe_id, dst, route)
+        if len(edges) < route.hops:
+            return True  # the walk fell off a boundary: path is gone
+        return any(edge in self.dead_edges for edge in edges)
 
     def apply_edge_dead(self, edge: tuple[int, int]) -> bool:
         """Record a dead edge: fail doomed pending requests, flush the
@@ -835,7 +889,8 @@ class ShmemRuntime:
                 if pending.direction is None:
                     continue
                 if not self._route_blocked(
-                        Route(pending.direction, pending.hops)):
+                        Route(pending.direction, pending.hops),
+                        dst=pending.pe):
                     continue
                 if not pending.done.triggered:
                     exc = PeerUnreachableError(
@@ -866,10 +921,17 @@ class ShmemRuntime:
                              edge: tuple[int, int]) -> Generator:
         """Flood an edge's death/recovery away from the edge itself.
 
-        Each surviving endpoint of the edge sends one control message to
-        the *far* endpoint the long way around; every host on that path
-        applies and relays it (service-thread dispatch), so the whole
-        ring learns from whichever endpoint's announcement arrives first.
+        On rings/chains each surviving endpoint of the edge sends one
+        control message to the *far* endpoint the long way around; every
+        host on that path applies and relays it (service-thread
+        dispatch), so the whole ring learns from whichever endpoint's
+        announcement arrives first.
+
+        On grids there is no single "long way around": any host might be
+        routing through the dead edge, so the endpoint unicasts the
+        notice to every other host over whatever routes are still live
+        (each relay applies the edge state before forwarding, and the
+        updates are idempotent).
         """
         my_side = None
         for side in self.links:
@@ -878,21 +940,37 @@ class ShmemRuntime:
                 break
         if my_side is None:
             return  # not an endpoint of this edge; relaying is enough
-        out_side = "left" if my_side == "right" else "right"
-        link = self.links.get(out_side)
-        if link is None:
+        aux = ((edge[0] & 0xFF) << 8) | (edge[1] & 0xFF)
+        if not isinstance(self.topology, GridTopology):
+            out_side = "left" if my_side == "right" else "right"
+            link = self.links.get(out_side)
+            if link is None:
+                return
+            dest = edge[1] if edge[0] == self.my_pe_id else edge[0]
+            msg = Message(
+                kind=kind, mode=Mode.DMA, src_pe=self.my_pe_id,
+                dest_pe=dest, offset=0, size=0, aux=aux,
+                seq=link.data_mailbox.next_seq(),
+            )
+            try:
+                yield from link.data_mailbox.send(msg)
+            except (LinkDownError, PeerUnreachableError):
+                pass  # both our cables are dead: nobody left to tell
             return
-        dest = edge[1] if edge[0] == self.my_pe_id else edge[0]
-        msg = Message(
-            kind=kind, mode=Mode.DMA, src_pe=self.my_pe_id,
-            dest_pe=dest, offset=0, size=0,
-            aux=((edge[0] & 0xFF) << 8) | (edge[1] & 0xFF),
-            seq=link.data_mailbox.next_seq(),
-        )
-        try:
-            yield from link.data_mailbox.send(msg)
-        except (LinkDownError, PeerUnreachableError):
-            pass  # both our cables are dead: nobody left to tell
+        for dest in range(self.n_pes):
+            if dest == self.my_pe_id:
+                continue
+            try:
+                route = self.route_to(dest)
+                link = self.link_for(route.direction)
+                msg = Message(
+                    kind=kind, mode=Mode.DMA, src_pe=self.my_pe_id,
+                    dest_pe=dest, offset=0, size=0, aux=aux,
+                    seq=link.data_mailbox.next_seq(),
+                )
+                yield from link.data_mailbox.send(msg)
+            except (LinkDownError, PeerUnreachableError):
+                continue  # unreachable island: nothing to tell it
 
     def deliver_to_heap(self, offset: int, data: np.ndarray) -> None:
         """Land bytes in the local symmetric heap + publish the update."""
@@ -920,32 +998,41 @@ class ShmemRuntime:
             raise TransferError(f"put size must be positive, got {nbytes}")
         self.put_count += 1
         hops = 0 if pe == self.my_pe_id else self.route_to(pe).hops
+        # Latency buckets are keyed by the hop count the op *actually*
+        # traversed, not the issue-time route: a mid-op sever reroutes
+        # the remaining chunks the long way around, and recording that
+        # latency under the short-route bucket poisons the histogram.
+        traversed = [hops]
         op_start = self.env.now
         try:
             with self.scope.span("put", category="op", track=self.name,
                                  pe=self.my_pe_id, peer=pe, nbytes=nbytes,
-                                 mode=mode.name, hops=hops):
+                                 mode=mode.name, hops=hops) as op_span:
                 if self.san is not None:
                     self.san.record_write(self.my_pe_id, pe, dest.offset,
                                           nbytes, "put", self.env.now)
                 yield from self._put_inner(dest, src_virt, nbytes, pe, mode,
-                                           allow_inline=allow_inline)
+                                           allow_inline=allow_inline,
+                                           traversed=traversed)
+                if op_span is not None:
+                    op_span.args["hops"] = traversed[0]
         finally:
             self.tracer.observe(f"{self.name}.put_us",
                                 self.env.now - op_start)
             self.tracer.count(f"{self.name}.put", nbytes=nbytes)
             self.scope.hist.observe(
-                f"put.{mode.name}.{nbytes}B.{hops}hop",
+                f"put.{mode.name}.{nbytes}B.{traversed[0]}hop",
                 self.env.now - op_start,
             )
             self.metrics.inc(f"put.{mode.name}", nbytes=nbytes)
             self.metrics_registry.observe(
-                f"put_us.{size_label(nbytes)}.{hops}hop",
+                f"put_us.{size_label(nbytes)}.{traversed[0]}hop",
                 self.env.now - op_start)
 
     def _put_inner(self, dest: SymAddr, src_virt: int, nbytes: int,
                    pe: int, mode: Mode, *,
-                   allow_inline: bool = True) -> Generator:
+                   allow_inline: bool = True,
+                   traversed: Optional[list] = None) -> Generator:
         if pe == self.my_pe_id:
             # Local put: a plain memcpy into our own heap.
             yield from self.host.cpu.local_memcpy(nbytes)
@@ -955,7 +1042,8 @@ class ShmemRuntime:
         fp = self.config.fastpath
         if (fp is not None and allow_inline and fp.inline_max > 0
                 and nbytes <= fp.inline_max):
-            yield from self._put_inline(dest, src_virt, nbytes, pe)
+            yield from self._put_inline(dest, src_virt, nbytes, pe,
+                                        traversed=traversed)
             return
         cursor = 0
         attempt = 0
@@ -965,6 +1053,8 @@ class ShmemRuntime:
             # the route — a rerouted chunk must fit the bypass slot, not
             # the neighbor's data window.
             route = self.route_to(pe)
+            if traversed is not None and route.hops > traversed[0]:
+                traversed[0] = route.hops
             link = self.link_for(route.direction)
             if route.hops == 1:
                 mailbox, limit = link.data_mailbox, self.config.rx_data_size
@@ -1001,7 +1091,7 @@ class ShmemRuntime:
             attempt = 0
 
     def _put_inline(self, dest: SymAddr, src_virt: int, nbytes: int,
-                    pe: int) -> Generator:
+                    pe: int, traversed: Optional[list] = None) -> Generator:
         """Fastpath small Put: payload inside a bypass slot header.
 
         One PIO store publishes header and payload together — no window
@@ -1012,6 +1102,8 @@ class ShmemRuntime:
         attempt = 0
         while True:
             route = self.route_to(pe)
+            if traversed is not None and route.hops > traversed[0]:
+                traversed[0] = route.hops
             link = self.link_for(route.direction)
             mailbox = link.bypass_mailbox
             kind = MsgKind.PUT_DATA if route.hops == 1 else MsgKind.PUT_FWD
@@ -1053,30 +1145,36 @@ class ShmemRuntime:
             raise TransferError(f"get size must be positive, got {nbytes}")
         self.get_count += 1
         hops = 0 if pe == self.my_pe_id else self.route_to(pe).hops
+        # Keyed by the actually-traversed hop count (see put()).
+        traversed = [hops]
         op_start = self.env.now
         try:
             with self.scope.span("get", category="op", track=self.name,
                                  pe=self.my_pe_id, peer=pe, nbytes=nbytes,
-                                 mode=mode.name, hops=hops):
+                                 mode=mode.name, hops=hops) as op_span:
                 if self.san is not None:
                     self.san.record_read(self.my_pe_id, pe, src.offset,
                                          nbytes, "get", self.env.now)
-                yield from self._get_inner(src, nbytes, pe, dest_virt, mode)
+                yield from self._get_inner(src, nbytes, pe, dest_virt, mode,
+                                           traversed=traversed)
+                if op_span is not None:
+                    op_span.args["hops"] = traversed[0]
         finally:
             self.tracer.observe(f"{self.name}.get_us",
                                 self.env.now - op_start)
             self.tracer.count(f"{self.name}.get", nbytes=nbytes)
             self.scope.hist.observe(
-                f"get.{mode.name}.{nbytes}B.{hops}hop",
+                f"get.{mode.name}.{nbytes}B.{traversed[0]}hop",
                 self.env.now - op_start,
             )
             self.metrics.inc(f"get.{mode.name}", nbytes=nbytes)
             self.metrics_registry.observe(
-                f"get_us.{size_label(nbytes)}.{hops}hop",
+                f"get_us.{size_label(nbytes)}.{traversed[0]}hop",
                 self.env.now - op_start)
 
     def _get_inner(self, src: SymAddr, nbytes: int, pe: int,
-                   dest_virt: int, mode: Mode) -> Generator:
+                   dest_virt: int, mode: Mode,
+                   traversed: Optional[list] = None) -> Generator:
         if pe == self.my_pe_id:
             yield from self.host.cpu.local_memcpy(nbytes)
             data = self.heap.read(src, nbytes)
@@ -1095,16 +1193,20 @@ class ShmemRuntime:
             else self.config.get_chunk
         for chunk_off, chunk_size in chunk_ranges(nbytes, req_chunk):
             yield from self._get_chunk(src, pe, dest_virt, mode,
-                                       chunk_off, chunk_size)
+                                       chunk_off, chunk_size,
+                                       traversed=traversed)
 
     def _get_chunk(self, src: SymAddr, pe: int, dest_virt: int, mode: Mode,
-                   chunk_off: int, chunk_size: int) -> Generator:
+                   chunk_off: int, chunk_size: int,
+                   traversed: Optional[list] = None) -> Generator:
         """One GET_REQ round trip, with retry: a Get is an idempotent
         read, so a chunk lost to a dead link is simply re-requested over
         whatever route is currently live."""
         attempt = 0
         while True:
             route = self.route_to(pe)
+            if traversed is not None and route.hops > traversed[0]:
+                traversed[0] = route.hops
             link = self.link_for(route.direction)
             req_id = self.next_req_id()
             pending = PendingGet(
@@ -1158,23 +1260,29 @@ class ShmemRuntime:
             raise TransferError(f"unknown AMO op {op}")
         self.amo_count += 1
         hops = 0 if pe == self.my_pe_id else self.route_to(pe).hops
+        # Keyed by the actually-traversed hop count (see put()).
+        traversed = [hops]
         op_start = self.env.now
         try:
             with self.scope.span("amo", category="op", track=self.name,
-                                 pe=self.my_pe_id, peer=pe, op=op, hops=hops):
+                                 pe=self.my_pe_id, peer=pe, op=op,
+                                 hops=hops) as op_span:
                 if self.san is not None:
                     self.san.record_atomic(self.my_pe_id, pe, target.offset,
                                            8, f"amo:{op}", self.env.now)
                 old = yield from self._amo_inner(pe, target, op, value,
-                                                 compare)
+                                                 compare, traversed=traversed)
+                if op_span is not None:
+                    op_span.args["hops"] = traversed[0]
         finally:
             self.metrics.inc(f"amo.{AmoOp.NAMES[op]}")
             self.metrics_registry.observe(
-                f"amo_us.{hops}hop", self.env.now - op_start)
+                f"amo_us.{traversed[0]}hop", self.env.now - op_start)
         return old
 
     def _amo_inner(self, pe: int, target: SymAddr, op: int, value: int,
-                   compare: int) -> Generator:
+                   compare: int,
+                   traversed: Optional[list] = None) -> Generator:
         if pe == self.my_pe_id:
             # Local fast path still serializes through the service thread
             # for atomicity with concurrent remote AMOs.
@@ -1189,6 +1297,8 @@ class ShmemRuntime:
         attempt = 0
         while True:
             route = self.route_to(pe)
+            if traversed is not None and route.hops > traversed[0]:
+                traversed[0] = route.hops
             link = self.link_for(route.direction)
             req_id = self.next_req_id()
             pending = PendingAmo(req_id=req_id, done=self.env.event(),

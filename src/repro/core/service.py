@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
 
+from ..fabric import NoRouteError
 from ..host import KernelThread
 from ..ntb import LinkDownError
 from .errors import PeerUnreachableError, ProtocolError
@@ -395,14 +396,26 @@ class ShmemService:
             pending.done.succeed(old)
 
     # -------------------------------------------------------------- forwarding
-    def _out_link(self, in_link: "LinkEnd") -> "LinkEnd":
-        """Messages keep travelling the direction they arrived from."""
-        out_side = "right" if in_link.side == "left" else "left"
+    def _out_link(self, in_link: "LinkEnd", dest_pe: int) -> "LinkEnd":
+        """The onward link a relay sends toward ``dest_pe``.
+
+        Routing is the runtime's router's call: ring/chain relays keep
+        travelling the direction they arrived from (the historical rule),
+        grid relays re-resolve per hop (dimension-order by default), so
+        the same store-and-forward machinery serves every topology.
+        Raises :class:`NoRouteError` when the router finds no live way
+        onward — the caller drops the message (end-to-end recovery is the
+        requester's job).
+        """
+        rt = self.rt
+        out_side = rt.router.forward_port(
+            rt.my_pe_id, dest_pe, in_link.side, rt.dead_edges,
+            load=rt._port_load)
         try:
-            return self.rt.links[out_side]
+            return rt.links[out_side]
         except KeyError:
             raise ProtocolError(
-                f"{self.rt.name}: cannot forward, no {out_side} adapter"
+                f"{rt.name}: cannot forward, no {out_side} adapter"
             ) from None
 
     def _forward(self, msg: Message, in_link: "LinkEnd", payload_phys: int,
@@ -418,7 +431,15 @@ class ShmemService:
         hit before the tasks were detached.
         """
         rt = self.rt
-        out_link = self._out_link(in_link)
+        try:
+            out_link = self._out_link(in_link, msg.dest_pe)
+        except NoRouteError:
+            # No live way onward from this relay: ACK and drop, exactly
+            # like the dead-edge branch below.
+            yield from self._ack(in_link, channel)
+            self.dropped_forwards += 1
+            rt.tracer.count(f"{rt.name}.fwd_dropped")
+            return
         next_pe = rt.neighbor_pe(out_link.direction)
         if rt.dead_edges \
                 and rt._edge_for_side(out_link.side) in rt.dead_edges:
@@ -475,7 +496,12 @@ class ShmemService:
             yield from out_link.bypass_mailbox.send(out, payload, relay=True)
 
     def _forward_control(self, msg: Message, in_link: "LinkEnd") -> Generator:
-        out_link = self._out_link(in_link)
+        try:
+            out_link = self._out_link(in_link, msg.dest_pe)
+        except NoRouteError:
+            self.dropped_forwards += 1
+            self.rt.tracer.count(f"{self.rt.name}.fwd_dropped")
+            return
         next_pe = self.rt.neighbor_pe(out_link.direction)
         dedup = None
         if msg.kind is MsgKind.BARRIER_MSG:

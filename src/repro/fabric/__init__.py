@@ -1,15 +1,27 @@
-"""Switchless fabric: topology math and the cluster builder."""
+"""Switchless fabric: topology math, routers and the cluster builder."""
 
 from .cluster import Cluster, ClusterConfig
 from .heartbeat import HeartbeatConfig, HeartbeatMonitor, LinkState
+from .router import (
+    ROUTER_NAMES,
+    AdaptiveRouter,
+    DimensionOrderRouter,
+    PolicyRouter,
+    Router,
+    make_router,
+)
 from .topology import (
     ChainTopology,
     Direction,
+    GridTopology,
+    MeshTopology,
+    NoRouteError,
     RingTopology,
     Route,
     RoutingPolicy,
     Topology,
     TopologyError,
+    TorusTopology,
 )
 
 __all__ = [
@@ -20,9 +32,19 @@ __all__ = [
     "ClusterConfig",
     "ChainTopology",
     "Direction",
+    "GridTopology",
+    "MeshTopology",
+    "NoRouteError",
     "RingTopology",
     "Route",
     "RoutingPolicy",
     "Topology",
     "TopologyError",
+    "TorusTopology",
+    "ROUTER_NAMES",
+    "AdaptiveRouter",
+    "DimensionOrderRouter",
+    "PolicyRouter",
+    "Router",
+    "make_router",
 ]

@@ -1,14 +1,22 @@
-"""Cluster builder: N hosts cabled into a switchless NTB ring or chain.
+"""Cluster builder: N hosts cabled into a switchless NTB fabric.
 
-Reproduces the paper's prototype bring-up (§IV): each host gets two PEX8749
+Reproduces the paper's prototype bring-up (§IV): each host gets PEX8749
 NTB host adapters seated in Gen3 slots; adapters are cabled neighbor to
 neighbor to close the ring.  ``Cluster.probe()`` runs every driver's
 config-space enumeration, after which the OpenSHMEM runtime can take over.
+
+Beyond the paper's ring (and the chain ablation), the builder seats one
+adapter per topology *port*, so 2D meshes and 3D tori (``topology="mesh"``
+/ ``"torus"`` with ``dims``) cable up the same way: the topology's
+:meth:`~.topology.Topology.cables` plan decides which adapters exist and
+how they pair.  A 3D torus seats six adapters per host; the builder
+widens the host's MSI vector space accordingly (16 doorbell vectors per
+adapter).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Generator, Iterator, Optional
 
 from ..host import CostModel, Host, HostConfig
@@ -19,15 +27,28 @@ from ..sim import Environment, Tracer
 from .topology import (
     ChainTopology,
     Direction,
+    MeshTopology,
     RingTopology,
     Topology,
     TopologyError,
+    TorusTopology,
 )
 
-__all__ = ["ClusterConfig", "Cluster"]
+__all__ = ["ClusterConfig", "Cluster", "irq_base_for"]
 
-#: IRQ vector bases per adapter side (16 doorbell bits each).
+#: IRQ vector bases per adapter side (16 doorbell bits each).  Kept for
+#: the historical ring/chain names; grid ports extend the same rule
+#: (16 vectors per seated adapter, in PORT_ORDER).
 IRQ_BASE = {"left": 0, "right": 16}
+
+#: Doorbell/MSI vectors reserved per seated adapter.
+IRQ_VECTORS_PER_PORT = 16
+
+
+def irq_base_for(topology: Topology, port: str) -> int:
+    """MSI vector base of the adapter behind ``port`` on ``topology``."""
+    return IRQ_VECTORS_PER_PORT * topology.PORT_ORDER.index(
+        topology.check_port(port))
 
 
 @dataclass(frozen=True)
@@ -35,7 +56,10 @@ class ClusterConfig:
     """Everything needed to stand up a cluster."""
 
     n_hosts: int = 3
-    topology: str = "ring"  # "ring" | "chain"
+    topology: str = "ring"  # "ring" | "chain" | "mesh" | "torus"
+    #: Grid extents for mesh/torus, x fastest (e.g. ``(4, 4)`` or
+    #: ``(4, 4, 4)``).  Must multiply out to ``n_hosts``.
+    dims: Optional[tuple[int, ...]] = None
     host: HostConfig = field(default_factory=HostConfig)
     cost_model: CostModel = field(default_factory=CostModel)
     link: LinkConfig = field(default_factory=LinkConfig)
@@ -43,15 +67,42 @@ class ClusterConfig:
     trace: bool = False
 
     def __post_init__(self) -> None:
-        if self.topology not in ("ring", "chain"):
+        if self.topology not in ("ring", "chain", "mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.n_hosts < 2:
             raise ValueError(f"need at least 2 hosts, got {self.n_hosts}")
+        if self.topology in ("mesh", "torus"):
+            if self.dims is None:
+                raise ValueError(
+                    f"{self.topology!r} needs dims, e.g. dims=(4, 4)")
+            object.__setattr__(self, "dims", tuple(self.dims))
+            n = 1
+            for d in self.dims:
+                n *= d
+            if n != self.n_hosts:
+                raise ValueError(
+                    f"dims {self.dims} multiply to {n}, "
+                    f"but n_hosts={self.n_hosts}")
+        elif self.dims is not None:
+            raise ValueError(
+                f"dims only apply to mesh/torus, not {self.topology!r}")
+        # A 3D grid seats up to six adapters per host; make sure the
+        # host's MSI controller has a vector range for each of them.
+        required = IRQ_VECTORS_PER_PORT * len(
+            self.make_topology().PORT_ORDER)
+        if self.host.num_irq_vectors < required:
+            object.__setattr__(
+                self, "host",
+                replace(self.host, num_irq_vectors=required))
 
     def make_topology(self) -> Topology:
         if self.topology == "ring":
             return RingTopology(self.n_hosts)
-        return ChainTopology(self.n_hosts)
+        if self.topology == "chain":
+            return ChainTopology(self.n_hosts)
+        if self.topology == "mesh":
+            return MeshTopology(self.dims)
+        return TorusTopology(self.dims)
 
 
 class Cluster:
@@ -84,28 +135,30 @@ class Cluster:
 
     def _build(self) -> None:
         """Seat adapters and run the cabling plan from the topology."""
-        for host_a, host_b in self.topology.links():
-            # host_a's RIGHT adapter <-> host_b's LEFT adapter.
-            ep_right = NtbEndpoint(
-                self.env, f"host{host_a}.ntb.right",
+        topo = self.topology
+        for owner, owner_port, peer, peer_port in topo.cables():
+            # owner's positive adapter <-> peer's matching negative one
+            # (on rings: host_a's RIGHT adapter <-> host_b's LEFT).
+            ep_owner = NtbEndpoint(
+                self.env, f"host{owner}.ntb.{owner_port}",
                 config=self.config.ntb, tracer=self.tracer,
             )
-            ep_left = NtbEndpoint(
-                self.env, f"host{host_b}.ntb.left",
+            ep_peer = NtbEndpoint(
+                self.env, f"host{peer}.ntb.{peer_port}",
                 config=self.config.ntb, tracer=self.tracer,
             )
-            drv_right = NtbDriver(self.hosts[host_a], ep_right, "right",
-                                  irq_base=IRQ_BASE["right"])
-            drv_left = NtbDriver(self.hosts[host_b], ep_left, "left",
-                                 irq_base=IRQ_BASE["left"])
-            cable = connect_endpoints(ep_right, ep_left,
+            drv_owner = NtbDriver(self.hosts[owner], ep_owner, owner_port,
+                                  irq_base=irq_base_for(topo, owner_port))
+            drv_peer = NtbDriver(self.hosts[peer], ep_peer, peer_port,
+                                 irq_base=irq_base_for(topo, peer_port))
+            cable = connect_endpoints(ep_owner, ep_peer,
                                       link_config=self.config.link,
                                       tracer=self.tracer)
-            self.cables[(host_a, host_b)] = cable
-            self._drivers[(host_a, "right")] = drv_right
-            self._drivers[(host_b, "left")] = drv_left
-            drv_right.enable_interrupts()
-            drv_left.enable_interrupts()
+            self.cables[(owner, peer)] = cable
+            self._drivers[(owner, owner_port)] = drv_owner
+            self._drivers[(peer, peer_port)] = drv_peer
+            drv_owner.enable_interrupts()
+            drv_peer.enable_interrupts()
 
     # -- access ---------------------------------------------------------------
     @property
@@ -117,14 +170,14 @@ class Cluster:
         return self.hosts[host_id]
 
     def driver(self, host_id: int, direction: Direction | str) -> NtbDriver:
-        """The NTB driver on ``host_id`` facing ``direction``."""
+        """The NTB driver on ``host_id`` facing ``direction``/port."""
         side = direction.value if isinstance(direction, Direction) else direction
         try:
             return self._drivers[(host_id, side)]
         except KeyError:
             raise TopologyError(
                 f"host {host_id} has no {side!r} adapter "
-                f"(chain end or bad id)"
+                f"(chain/mesh boundary or bad id)"
             ) from None
 
     def has_adapter(self, host_id: int, direction: Direction | str) -> bool:

@@ -87,10 +87,12 @@ class HeartbeatMonitor:
         self.period_us = period_us
         self.miss_threshold = miss_threshold
         # Registers: the link-management bank, one register per direction
-        # (right writer owns the first, left writer the second).  Disjoint
-        # from the mailbox bank, so the runtime can share the cable.
-        tx_offset = 0 if driver.side == "right" else 1
-        rx_offset = 1 if driver.side == "right" else 0
+        # (the positive-port writer — "right", "x+", ... — owns the first,
+        # the negative-port writer the second).  Disjoint from the mailbox
+        # bank, so the runtime can share the cable.
+        positive = driver.side == "right" or driver.side.endswith("+")
+        tx_offset = 0 if positive else 1
+        rx_offset = 1 if positive else 0
         self._tx_reg = LINK_MGMT_SPAD_BASE + tx_offset
         self._rx_reg = LINK_MGMT_SPAD_BASE + rx_offset
         self.state = LinkState.UNKNOWN

@@ -16,6 +16,7 @@ from .plan import (
     RestoreCable,
     SeverCable,
     validate_for_ring,
+    validate_for_topology,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "RestoreCable",
     "SeverCable",
     "validate_for_ring",
+    "validate_for_topology",
 ]

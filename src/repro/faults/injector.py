@@ -24,7 +24,7 @@ from .plan import (
     FaultPlan,
     RestoreCable,
     SeverCable,
-    validate_for_ring,
+    validate_for_topology,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -40,7 +40,7 @@ class FaultInjector:
         self.cluster = cluster
         self.env: Environment = cluster.env
         self.plan = plan or FaultPlan()
-        validate_for_ring(self.plan, cluster.n_hosts)
+        validate_for_topology(self.plan, cluster.topology)
         #: (virtual time, event) pairs in application order, for tests
         #: and post-run reporting.
         self.applied: list[tuple[float, FaultEvent]] = []

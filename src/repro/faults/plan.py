@@ -38,6 +38,8 @@ __all__ = [
     "DelayTlp",
     "FaultEvent",
     "FaultPlan",
+    "validate_for_ring",
+    "validate_for_topology",
 ]
 
 
@@ -77,8 +79,11 @@ class DropDoorbell:
     def __post_init__(self) -> None:
         if self.at_us < 0:
             raise ValueError(f"fault time must be >= 0, got {self.at_us}")
-        if self.side not in ("left", "right"):
-            raise ValueError(f"side must be 'left' or 'right', got {self.side!r}")
+        # Port names are topology-defined ("left"/"right" on rings,
+        # "x+"/"y-"/... on grids); existence is checked against the
+        # actual topology in validate_for_topology.
+        if not self.side or not isinstance(self.side, str):
+            raise ValueError(f"side must be a port name, got {self.side!r}")
         if self.count < 1:
             raise ValueError(f"drop count must be >= 1, got {self.count}")
 
@@ -202,7 +207,11 @@ class _Lcg:
 
 
 def validate_for_ring(plan: FaultPlan, n_hosts: int) -> None:
-    """Reject events naming edges that do not exist on an n-host ring."""
+    """Reject events naming edges that do not exist on an n-host ring.
+
+    Historical entry point (rings only); :func:`validate_for_topology`
+    is the general check used by the injector.
+    """
     valid = set()
     for a in range(n_hosts):
         b = (a + 1) % n_hosts
@@ -219,4 +228,35 @@ def validate_for_ring(plan: FaultPlan, n_hosts: int) -> None:
             if event.host >= n_hosts:
                 raise ValueError(
                     f"{event!r}: host {event.host} outside 0..{n_hosts - 1}"
+                )
+
+
+def validate_for_topology(plan: FaultPlan, topology) -> None:
+    """Reject events naming cables or ports ``topology`` does not have.
+
+    ``topology`` is any :class:`~repro.fabric.topology.Topology` — duck
+    typed (``cables()``/``ports()``/``n_hosts``) so this pure-data module
+    stays import-free of the fabric package.
+    """
+    valid = set()
+    for a, _ap, b, _bp in topology.cables():
+        valid.add((a, b))
+        valid.add((b, a))
+    n_hosts = topology.n_hosts
+    for event in plan:
+        if isinstance(event, (SeverCable, RestoreCable, DelayTlp)):
+            if (event.host_a, event.host_b) not in valid:
+                raise ValueError(
+                    f"{event!r}: no cable between hosts {event.host_a} "
+                    f"and {event.host_b} on {topology!r}"
+                )
+        elif isinstance(event, DropDoorbell):
+            if not (0 <= event.host < n_hosts):
+                raise ValueError(
+                    f"{event!r}: host {event.host} outside 0..{n_hosts - 1}"
+                )
+            if event.side not in topology.ports(event.host):
+                raise ValueError(
+                    f"{event!r}: host {event.host} has no "
+                    f"{event.side!r} adapter on {topology!r}"
                 )

@@ -2,8 +2,9 @@
 
 A :class:`Host` models one of the paper's Core-i7 boxes: local DRAM with a
 shared memory/root-complex port, a CPU cost model, an MSI interrupt
-controller, a virtual address space for user mappings, and up to two seated
-NTB adapters ("left"/"right" in the ring).
+controller, a virtual address space for user mappings, and one seated NTB
+adapter per cabled topology port — "left"/"right" on the paper's ring, up
+to six (``x-`` … ``z+``) on the mesh/torus fabrics of docs/TOPOLOGY.md.
 """
 
 from __future__ import annotations

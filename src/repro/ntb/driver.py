@@ -46,8 +46,10 @@ class NtbDriver:
 
     def __init__(self, host: Host, endpoint: NtbEndpoint, side: str,
                  irq_base: int):
-        if side not in ("left", "right"):
-            raise DriverError(f"side must be 'left' or 'right', got {side!r}")
+        if not side or not isinstance(side, str):
+            raise DriverError(
+                f"side must be a topology port name "
+                f"('left', 'right', 'x+', ...), got {side!r}")
         self.host = host
         self.endpoint = endpoint
         self.side = side
@@ -70,7 +72,9 @@ class NtbDriver:
 
     def _requester_id(self) -> int:
         # bus/device/function style: host id in the bus field, side in dev.
-        return (self.host.host_id << 8) | (0 if self.side == "left" else 1)
+        # One function number per seated adapter; the 16-vector-per-port
+        # IRQ layout already numbers ports, so reuse it (left=0, right=1).
+        return (self.host.host_id << 8) | (self.irq_base // 16)
 
     @property
     def requester_id(self) -> int:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.fabric import MeshTopology, RingTopology
 from repro.faults import (
     DelayTlp,
     DropDoorbell,
@@ -12,6 +13,7 @@ from repro.faults import (
     RestoreCable,
     SeverCable,
     validate_for_ring,
+    validate_for_topology,
 )
 
 
@@ -25,8 +27,17 @@ class TestEventValidation:
             SeverCable(10.0, 2, 2)
 
     def test_drop_doorbell_side_checked(self):
+        # Port names are topology-scoped: construction only rejects
+        # non-names; existence is checked against the actual topology.
         with pytest.raises(ValueError):
-            DropDoorbell(10.0, 0, "up")
+            DropDoorbell(10.0, 0, "")
+        plan = FaultPlan(events=(DropDoorbell(10.0, 0, "up"),))
+        with pytest.raises(ValueError):
+            validate_for_topology(plan, RingTopology(4))
+        grid_plan = FaultPlan(events=(DropDoorbell(10.0, 0, "x+"),))
+        validate_for_topology(grid_plan, MeshTopology((2, 2)))
+        with pytest.raises(ValueError):
+            validate_for_topology(grid_plan, RingTopology(4))
 
     def test_drop_doorbell_count_positive(self):
         with pytest.raises(ValueError):
